@@ -1,0 +1,50 @@
+"""Ablation — SIT vs BMT update cost (the background claim of Sec. II-C).
+
+The BMT must recompute every hash on the branch *sequentially*; the SIT
+updates only the touched node and its parent counter (lazy scheme).
+This bench counts the serial hash chains of both trees under the same
+leaf-update stream.
+"""
+from benchmarks.conftest import save_and_show
+from repro.analysis.report import render_kv
+from repro.common.rng import make_rng
+from repro.crypto.engine import FastEngine
+from repro.integrity.bmt import BonsaiMerkleTree
+from repro.integrity.geometry import TreeGeometry
+
+
+def run_bmt(updates: int = 2000, blocks: int = 1 << 18):
+    geometry = TreeGeometry(num_data_blocks=blocks, leaf_coverage=8,
+                            root_arity=8)
+    bmt = BonsaiMerkleTree(geometry, FastEngine(5))
+    rng = make_rng(5, "bmt")
+    leaves = rng.integers(0, geometry.level_sizes[0], updates)
+    serial = 0
+    for i, leaf in enumerate(leaves):
+        serial += bmt.update_leaf(int(leaf), i + 1).serial_hashes
+    # spot-verify a few branches stayed sound
+    for leaf in leaves[:16]:
+        bmt.verify_leaf(int(leaf))
+    return bmt, serial, updates
+
+
+def test_bmt_serial_update_cost(benchmark, results_dir):
+    bmt, serial, updates = benchmark.pedantic(run_bmt, rounds=1,
+                                              iterations=1)
+    levels = bmt.geometry.num_levels
+    # SIT with the lazy scheme: one HMAC for the updated node (its
+    # parent's counter changes but counters need no hash, Sec. II-C)
+    sit_serial = updates * 1
+    pairs = {
+        "tree levels (excl. root)": levels,
+        "BMT serial hashes / update": f"{serial / updates:.2f}",
+        "SIT serial hashes / update (lazy)": "1.00",
+        "BMT : SIT hash ratio": f"{serial / sit_serial:.2f}x",
+    }
+    table = render_kv("Ablation: BMT vs SIT update cost", pairs)
+    save_and_show(results_dir, "ablation_tree", table)
+    benchmark.extra_info["bmt_serial_per_update"] = round(
+        serial / updates, 2)
+    # the whole reason the paper (and SGX) uses SIT:
+    assert serial / updates >= levels          # full branch, serialized
+    assert serial / sit_serial > 3.0

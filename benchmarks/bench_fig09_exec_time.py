@@ -1,0 +1,29 @@
+"""Fig. 9 — execution time normalized to WB-GC.
+
+Paper: ASIT averages 1.20x, STAR 1.12x; Steins-GC improves on them by
+20.7% / 12.7% and stays within a few percent of WB-GC.
+"""
+from benchmarks.conftest import save_and_show
+from repro.analysis.report import render_table
+from repro.sim.runner import GC_VARIANTS
+from repro.sim.stats import geometric_mean
+
+
+def test_fig09_execution_time(benchmark, harness, results_dir):
+    rows = benchmark.pedantic(harness.fig9_execution_time,
+                              rounds=1, iterations=1)
+    table = render_table(
+        "Fig. 9: execution time (normalized to WB-GC)",
+        list(GC_VARIANTS), rows,
+        baseline_note="paper: ASIT ~1.20x, STAR ~1.12x, Steins-GC ~1.0x")
+    save_and_show(results_dir, "fig09_exec_time", table)
+
+    means = {v: geometric_mean([row[v] for row in rows.values()])
+             for v in GC_VARIANTS}
+    benchmark.extra_info.update({f"geomean_{v}": round(means[v], 4)
+                                 for v in GC_VARIANTS})
+    # the paper's shape: Steins ~WB, strictly better than ASIT and STAR
+    assert means["steins-gc"] < means["asit"]
+    assert means["steins-gc"] < means["star"]
+    assert means["steins-gc"] < 1.2
+    assert means["asit"] > 1.05

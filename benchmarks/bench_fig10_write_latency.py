@@ -1,0 +1,29 @@
+"""Fig. 10 — write latency normalized to WB-GC.
+
+Paper: ASIT 2.14x, STAR 1.67x, Steins-GC ~1.06x.  Our latency model
+attributes the gaps to the same mechanisms (shadow-write queue pressure,
+bitmap traffic, record coalescing) though absolute queueing differs from
+NVMain; the ordering and the ASIT blow-up are the reproduced shape.
+"""
+from benchmarks.conftest import save_and_show
+from repro.analysis.report import render_table
+from repro.sim.runner import GC_VARIANTS
+from repro.sim.stats import geometric_mean
+
+
+def test_fig10_write_latency(benchmark, harness, results_dir):
+    rows = benchmark.pedantic(harness.fig10_write_latency,
+                              rounds=1, iterations=1)
+    table = render_table(
+        "Fig. 10: write latency (normalized to WB-GC)",
+        list(GC_VARIANTS), rows,
+        baseline_note="paper: ASIT ~2.14x, STAR ~1.67x, Steins-GC ~1.06x")
+    save_and_show(results_dir, "fig10_write_latency", table)
+
+    means = {v: geometric_mean([row[v] for row in rows.values()
+                                if row[v] > 0])
+             for v in GC_VARIANTS}
+    benchmark.extra_info.update({f"geomean_{v}": round(means[v], 4)
+                                 for v in GC_VARIANTS})
+    assert means["steins-gc"] < means["asit"]
+    assert means["asit"] > 1.05

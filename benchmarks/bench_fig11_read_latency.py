@@ -1,0 +1,29 @@
+"""Fig. 11 — read latency normalized to WB-GC.
+
+Paper: read latencies stay near 1.0x for every scheme (Steins-GC even
+-0.02%): reads are served the same way everywhere; only contention from
+each scheme's extra writes moves the needle.
+"""
+from benchmarks.conftest import save_and_show
+from repro.analysis.report import render_table
+from repro.sim.runner import GC_VARIANTS
+from repro.sim.stats import geometric_mean
+
+
+def test_fig11_read_latency(benchmark, harness, results_dir):
+    rows = benchmark.pedantic(harness.fig11_read_latency,
+                              rounds=1, iterations=1)
+    table = render_table(
+        "Fig. 11: read latency (normalized to WB-GC)",
+        list(GC_VARIANTS), rows,
+        baseline_note="paper: ~1.0x for all schemes")
+    save_and_show(results_dir, "fig11_read_latency", table)
+
+    means = {v: geometric_mean([row[v] for row in rows.values()
+                                if row[v] > 0])
+             for v in GC_VARIANTS}
+    benchmark.extra_info.update({f"geomean_{v}": round(means[v], 4)
+                                 for v in GC_VARIANTS})
+    # reads stay within tens of percent of the baseline for every scheme
+    assert 0.7 < means["steins-gc"] < 1.3
+    assert 0.7 < means["star"] < 1.5

@@ -1,0 +1,27 @@
+"""Fig. 14 — write traffic normalized to WB-SC.
+
+Paper: Steins-SC incurs just ~1% extra write traffic over WB-SC, far
+below Steins-GC (whose 8-block leaves mean more leaf churn).
+"""
+from benchmarks.conftest import save_and_show
+from repro.analysis.report import render_table
+from repro.sim.runner import SC_VARIANTS
+from repro.sim.stats import geometric_mean
+
+
+def test_fig14_write_traffic_sc(benchmark, harness, results_dir):
+    rows = benchmark.pedantic(harness.fig14_write_traffic_sc,
+                              rounds=1, iterations=1)
+    table = render_table(
+        "Fig. 14: write traffic (normalized to WB-SC)",
+        list(SC_VARIANTS), rows,
+        baseline_note="paper: Steins-SC ~1.01x WB-SC")
+    save_and_show(results_dir, "fig14_write_traffic_sc", table)
+
+    usable = [w for w, row in rows.items() if row["wb-sc"] > 0]
+    means = {v: geometric_mean([rows[w][v] for w in usable])
+             for v in SC_VARIANTS}
+    benchmark.extra_info.update({f"geomean_{v}": round(means[v], 4)
+                                 for v in SC_VARIANTS})
+    assert means["steins-sc"] < means["steins-gc"]
+    assert means["steins-sc"] < 1.15

@@ -1,0 +1,26 @@
+"""Fig. 15 — energy normalized to WB-GC.
+
+Paper: Steins-GC cuts energy sharply versus ASIT and STAR (no cache-tree
+HMAC storm, fewer NVM writes) and is within a fraction of a percent of
+WB-GC.
+"""
+from benchmarks.conftest import save_and_show
+from repro.analysis.report import render_table
+from repro.sim.runner import GC_VARIANTS
+from repro.sim.stats import geometric_mean
+
+
+def test_fig15_energy(benchmark, harness, results_dir):
+    rows = benchmark.pedantic(harness.fig15_energy, rounds=1, iterations=1)
+    table = render_table(
+        "Fig. 15: energy (normalized to WB-GC)",
+        list(GC_VARIANTS), rows,
+        baseline_note="paper: Steins-GC ~1.0x, far below ASIT and STAR")
+    save_and_show(results_dir, "fig15_energy", table)
+
+    means = {v: geometric_mean([row[v] for row in rows.values()])
+             for v in GC_VARIANTS}
+    benchmark.extra_info.update({f"geomean_{v}": round(means[v], 4)
+                                 for v in GC_VARIANTS})
+    assert means["steins-gc"] < means["asit"]
+    assert means["steins-gc"] < means["star"]

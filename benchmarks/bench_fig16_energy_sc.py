@@ -1,0 +1,25 @@
+"""Fig. 16 — energy normalized to WB-SC.
+
+Paper: the split counter block reduces Steins' energy overhead by ~9.4%
+relative to Steins-GC.
+"""
+from benchmarks.conftest import save_and_show
+from repro.analysis.report import render_table
+from repro.sim.runner import SC_VARIANTS
+from repro.sim.stats import geometric_mean
+
+
+def test_fig16_energy_sc(benchmark, harness, results_dir):
+    rows = benchmark.pedantic(harness.fig16_energy_sc,
+                              rounds=1, iterations=1)
+    table = render_table(
+        "Fig. 16: energy (normalized to WB-SC)",
+        list(SC_VARIANTS), rows,
+        baseline_note="paper: Steins-SC ~9.4% below Steins-GC")
+    save_and_show(results_dir, "fig16_energy_sc", table)
+
+    means = {v: geometric_mean([row[v] for row in rows.values()])
+             for v in SC_VARIANTS}
+    benchmark.extra_info.update({f"geomean_{v}": round(means[v], 4)
+                                 for v in SC_VARIANTS})
+    assert means["steins-sc"] < means["steins-gc"]

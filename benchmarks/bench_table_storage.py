@@ -1,0 +1,83 @@
+"""Sec. IV-E storage overhead + Sec. III-B.2 overflow analysis + Table I.
+
+All closed-form, so these also double as cheap regression checks of the
+published constants: 2 GB / 256 MB leaf storage, tree heights 9/8,
+ASIT's +1/8 cache and shadow table, STAR's +1/64 cache and bitmap,
+Steins' 16 KB records + 64 B LIncs + 128 B buffer; counter lifetimes of
+~685 / >=342 years.
+"""
+from benchmarks.conftest import save_and_show
+from repro.analysis.report import render_kv, render_table
+from repro.analysis.storage import all_storage_breakdowns
+from repro.common.config import default_config
+from repro.common.units import pretty_size
+from repro.core.countergen import years_to_overflow
+
+
+def test_storage_overhead_table(benchmark, results_dir):
+    breakdowns = benchmark.pedantic(all_storage_breakdowns,
+                                    rounds=1, iterations=1)
+    rows = {}
+    for b in breakdowns:
+        key = f"{b.scheme}-{'sc' if b.counter_mode == 'split' else 'gc'}"
+        rows[key] = {
+            "height": float(b.tree_height),
+            "leaf_MB": b.leaf_bytes / (1 << 20),
+            "inner_MB": b.intermediate_bytes / (1 << 20),
+            "extra_nvm_KB": b.extra_nvm_bytes / 1024,
+            "extra_cache_KB": b.extra_cache_bytes / 1024,
+            "onchip_B": float(b.onchip_nv_bytes),
+        }
+    table = render_table(
+        "Sec. IV-E: storage overhead (16 GB NVM, 256 KB metadata cache)",
+        ["height", "leaf_MB", "inner_MB", "extra_nvm_KB",
+         "extra_cache_KB", "onchip_B"],
+        rows, mean_row=False, fmt="{:.1f}")
+    save_and_show(results_dir, "table_storage", table)
+
+    by_key = {f"{b.scheme}-{'sc' if b.counter_mode == 'split' else 'gc'}": b
+              for b in breakdowns}
+    assert by_key["wb-gc"].leaf_bytes == 2 << 30      # 2 GB
+    assert by_key["steins-sc"].leaf_bytes == 256 << 20  # 256 MB
+    assert by_key["steins-gc"].extra_nvm_bytes == 16 << 10
+    assert by_key["asit-gc"].extra_cache_bytes == (256 << 10) // 8
+    assert by_key["star-gc"].extra_cache_bytes == (256 << 10) // 64
+
+
+def test_overflow_analysis(benchmark, results_dir):
+    estimates = benchmark.pedantic(years_to_overflow, rounds=1,
+                                   iterations=1)
+    pairs = {e.scheme: f"{e.years:,.0f} years "
+                       f"({e.writes_to_overflow:.2e} writes)"
+             for e in estimates}
+    table = render_kv(
+        "Sec. III-B.2: 56-bit parent-counter lifetime at 300ns/write",
+        pairs)
+    save_and_show(results_dir, "table_overflow", table)
+    by_scheme = {e.scheme: e for e in estimates}
+    assert 600 < by_scheme["traditional"].years < 750    # ~685 years
+    assert by_scheme["steins-skip"].years > 300          # >= ~342 years
+
+
+def test_table1_configuration(benchmark, results_dir):
+    cfg = benchmark.pedantic(default_config, rounds=1, iterations=1)
+    pairs = {
+        "CPU clock": f"{cfg.clock_ghz} GHz",
+        "L1 / L2 / L3": " / ".join(pretty_size(c.size_bytes) for c in
+                                   (cfg.hierarchy.l1, cfg.hierarchy.l2,
+                                    cfg.hierarchy.l3)),
+        "NVM capacity": pretty_size(cfg.nvm_capacity_bytes),
+        "PCM tRCD/tCL/tCWD/tFAW/tWTR/tWR":
+            f"{cfg.nvm.trcd_ns}/{cfg.nvm.tcl_ns}/{cfg.nvm.tcwd_ns}/"
+            f"{cfg.nvm.tfaw_ns}/{cfg.nvm.twtr_ns}/{cfg.nvm.twr_ns} ns",
+        "write queue": f"{cfg.nvm.write_queue_entries} entries",
+        "metadata cache": pretty_size(
+            cfg.security.metadata_cache.size_bytes)
+            + f", {cfg.security.metadata_cache.ways}-way",
+        "hash latency": f"{cfg.security.hash_cycles} cycles",
+        "NV buffer": f"{cfg.security.nv_buffer_entries * 16} B",
+        "record cache": f"{cfg.security.record_cache_lines} lines",
+    }
+    table = render_kv("Table I: evaluated NVM system configuration", pairs)
+    save_and_show(results_dir, "table1_config", table)
+    assert cfg.nvm.twr_ns == 300.0

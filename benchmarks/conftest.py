@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+The figure benches share one simulation matrix (a session-scoped
+:class:`FigureHarness`): the first bench that needs a cell pays for it,
+the rest reuse it.  Scale knobs via environment variables:
+
+* ``REPRO_BENCH_ACCESSES``   — accesses per (scheme, workload) cell
+  (default 30000; the paper runs 2B instructions in Gem5),
+* ``REPRO_BENCH_FOOTPRINT``  — workload footprint in 64 B blocks
+  (default 65536 = 4 MB before per-workload multipliers).
+
+Every bench writes its table to ``benchmarks/results/`` so the figures
+are inspectable after the run without scraping pytest output.
+"""
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+import pytest
+
+sys.setrecursionlimit(100_000)
+
+from repro.analysis.figures import FigureHarness  # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "30000"))
+FOOTPRINT = int(os.environ.get("REPRO_BENCH_FOOTPRINT", str(1 << 16)))
+
+
+@pytest.fixture(scope="session")
+def harness() -> FigureHarness:
+    return FigureHarness(accesses=ACCESSES, footprint_blocks=FOOTPRINT)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_show(results_dir: pathlib.Path, name: str, table: str) -> None:
+    """Persist a rendered figure table and echo it to the terminal."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(table + "\n")
+    print(f"\n{table}\n[saved to {path}]")

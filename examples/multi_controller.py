@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Multi-controller scalability demo (paper Sec. IV-F).
+
+Simulates the Cascade Lake layout the paper describes — multiple memory
+controllers, each driving its own Optane DIMM with its own Steins
+instance — and shows both behaviours of Sec. IV-F:
+
+* disjoint client streams scale almost linearly across controllers,
+* streams colliding on one DIMM serialize at its controller,
+
+plus a whole-platform crash where every controller recovers its own
+DIMM's metadata in parallel.
+
+Run:  python examples/multi_controller.py
+"""
+from repro.common.config import small_config
+from repro.common.rng import make_rng
+from repro.common.units import pretty_time_ns
+from repro.sim.multi import MultiControllerSystem
+
+
+def run_stream(multi: MultiControllerSystem, addrs) -> None:
+    for addr in addrs:
+        multi.store(int(addr), flush=True)
+
+
+def main() -> None:
+    cfg = small_config()
+    rng = make_rng(12, "demo")
+    addrs = rng.integers(0, 16_000, 4000)
+
+    print("== disjoint clients: the same 4000 writes, 1 vs 4 MCs ==")
+    for n in (1, 2, 4):
+        multi = MultiControllerSystem("steins", cfg, num_controllers=n)
+        run_stream(multi, addrs)
+        r = multi.result()
+        print(f"  {n} controller(s): wall "
+              f"{pretty_time_ns(r.exec_time_ns):>10s}   "
+              f"speedup {r.parallel_speedup:4.2f}x")
+
+    print("\n== colliding clients: everything lands on one DIMM ==")
+    multi = MultiControllerSystem("steins", cfg, num_controllers=4)
+    run_stream(multi, (4 * a for a in rng.integers(0, 4000, 4000)))
+    r = multi.result()
+    print(f"  4 controllers, 1 hot DIMM: speedup {r.parallel_speedup:4.2f}x"
+          "  (requests processed serially, Sec. IV-F)")
+
+    print("\n== platform-wide power failure ==")
+    multi = MultiControllerSystem("steins", cfg, num_controllers=4)
+    run_stream(multi, addrs)
+    multi.crash()
+    reports = multi.recover()
+    for i, report in enumerate(reports):
+        print(f"  MC{i}: recovered {report.nodes_recovered:4d} nodes "
+              f"in {pretty_time_ns(report.time_ns)}")
+    slowest = max(r.time_ns for r in reports)
+    total = sum(r.time_ns for r in reports)
+    print(f"  parallel recovery: {pretty_time_ns(slowest)} "
+          f"(vs {pretty_time_ns(total)} if serialized)")
+    checked = multi.verify_all_persisted()
+    print(f"  {checked} blocks verified across all DIMMs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Scheme comparison on one workload — a miniature of Figs. 9/10/13.
+
+Runs WB, ASIT, STAR, and both Steins variants over the same persistent
+hash-table trace and prints the normalized table the paper's figures
+plot: execution time, write latency, write traffic, and energy, all
+relative to WB-GC.
+
+Run:  python examples/scheme_comparison.py [workload] [accesses]
+"""
+import sys
+
+from repro.analysis.report import render_table
+from repro.sim.runner import RunSpec, VARIANTS, run_cell
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "pers_hash"
+    accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+
+    print(f"simulating {accesses} accesses of {workload!r} "
+          f"under {len(VARIANTS)} schemes (Table I config, scaled LLC)...")
+    results = {}
+    for variant in VARIANTS:
+        spec = RunSpec(variant=variant, workload=workload,
+                       accesses=accesses, footprint_blocks=1 << 15)
+        results[variant] = run_cell(spec)
+        r = results[variant]
+        print(f"  {variant:10s} done: exec={r.exec_time_ns / 1e6:8.2f} ms  "
+              f"writes={r.data_writes}  traffic={r.nvm_write_traffic}")
+
+    base = results["wb-gc"]
+    rows = {}
+    for metric in ("exec_time", "write_latency", "read_latency",
+                   "write_traffic", "energy"):
+        rows[metric] = {v: results[v].normalized_to(base)[metric]
+                        for v in VARIANTS}
+    print()
+    print(render_table(
+        f"{workload}: metrics normalized to WB-GC "
+        "(paper Figs. 9/10/11/13/15)",
+        list(VARIANTS), rows, mean_row=False))
+
+    print("\nwhat to look for (the paper's claims):")
+    print("  - asit write_traffic  ~ 2.0   (shadow table doubles writes)")
+    print("  - star between asit and steins on every metric")
+    print("  - steins-gc exec_time ~ 1.0x  (negligible runtime overhead)")
+    print("  - steins-sc < steins-gc       (split counters help, Fig. 12)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — a full Python reproduction of *"A High-Performance and
+Fast-Recovery Scheme for Secure Non-Volatile Memory Systems"* (Steins,
+IEEE CLUSTER 2024).
+
+Quickstart::
+
+    from repro import make_system, get_profile, run_trace
+
+    system = make_system("steins-gc")
+    trace = get_profile("pers_hash").generate(seed=1, n=20_000,
+                                              footprint=4096)
+    result = run_trace(system, trace, "pers_hash")
+    print(result.exec_time_ns, result.nvm_write_traffic)
+
+    # crash anywhere, recover, and keep going:
+    from repro import crash_and_recover
+    report, _ = crash_and_recover(system)
+    print(f"recovered {report.nodes_recovered} nodes in {report.time_s}s")
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure.
+"""
+from repro.baselines import (
+    ASITController,
+    RecoveryReport,
+    SCUEController,
+    STARController,
+    WBController,
+)
+from repro.common import (
+    CounterMode,
+    IntegrityError,
+    ReplayDetectedError,
+    SystemConfig,
+    TamperDetectedError,
+    default_config,
+    small_config,
+)
+from repro.core import SteinsController
+from repro.sim import (
+    GC_VARIANTS,
+    SC_VARIANTS,
+    VARIANTS,
+    RunResult,
+    RunSpec,
+    SecureNVMSystem,
+    crash_and_recover,
+    make_system,
+    run_cell,
+    run_trace,
+    run_with_crash,
+)
+from repro.workloads import ALL_PROFILES, PAPER_WORKLOADS, get_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PROFILES",
+    "ASITController",
+    "CounterMode",
+    "GC_VARIANTS",
+    "IntegrityError",
+    "PAPER_WORKLOADS",
+    "RecoveryReport",
+    "ReplayDetectedError",
+    "RunResult",
+    "RunSpec",
+    "SCUEController",
+    "SC_VARIANTS",
+    "STARController",
+    "SecureNVMSystem",
+    "SteinsController",
+    "SystemConfig",
+    "TamperDetectedError",
+    "VARIANTS",
+    "WBController",
+    "crash_and_recover",
+    "default_config",
+    "get_profile",
+    "make_system",
+    "run_cell",
+    "run_trace",
+    "run_with_crash",
+    "small_config",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Evaluation harness: figures, storage accounting, recovery model, tables."""
+from repro.analysis.figures import FigureHarness, figure_config
+from repro.analysis.recovery_model import (
+    RecoveryEstimate,
+    estimate,
+    figure17_sweep,
+    reads_per_node,
+    scue_rebuild_estimate,
+)
+from repro.analysis.report import render_kv, render_table
+from repro.analysis.storage import (
+    StorageBreakdown,
+    all_storage_breakdowns,
+    leaf_storage_fraction,
+    storage_breakdown,
+)
+
+__all__ = [
+    "FigureHarness",
+    "RecoveryEstimate",
+    "StorageBreakdown",
+    "all_storage_breakdowns",
+    "estimate",
+    "figure17_sweep",
+    "figure_config",
+    "leaf_storage_fraction",
+    "reads_per_node",
+    "render_kv",
+    "render_table",
+    "scue_rebuild_estimate",
+    "storage_breakdown",
+]

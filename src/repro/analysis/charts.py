@@ -1,0 +1,78 @@
+"""Terminal bar charts for the figure reproductions.
+
+The paper presents Figs. 9-17 as grouped bar charts; this module renders
+the same data as Unicode horizontal bars so ``python -m repro figure N``
+shows the *shape* at a glance, not just a number grid.
+"""
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+#: eighth-block ramp for sub-character bar resolution
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def hbar(value: float, scale: float, width: int = 40) -> str:
+    """Render ``value`` as a horizontal bar of at most ``width`` cells.
+
+    ``scale`` is the value that maps to a full-width bar; larger values
+    are clipped with a ``>`` marker.
+    """
+    if scale <= 0 or width <= 0:
+        raise ConfigError("scale and width must be positive")
+    if value < 0:
+        raise ConfigError("bars render non-negative values only")
+    cells = value / scale * width
+    if cells >= width:
+        return "█" * (width - 1) + ">"
+    full = int(cells)
+    frac = int((cells - full) * 8)
+    bar = "█" * full + (_BLOCKS[frac] if frac else "")
+    return bar
+
+
+def render_grouped_bars(title: str, columns: list[str],
+                        rows: dict[str, dict[str, float]],
+                        width: int = 40,
+                        baseline: float | None = 1.0,
+                        fmt: str = "{:.3f}") -> str:
+    """Render ``{row: {column: value}}`` as grouped horizontal bars.
+
+    ``baseline`` draws a reference tick (the normalized 1.0 line of the
+    paper's figures) as a ``|`` in each bar lane.
+    """
+    if not rows:
+        raise ConfigError("cannot chart an empty mapping")
+    peak = max(v for values in rows.values()
+               for v in values.values() if v is not None)
+    scale = max(peak, baseline or 0.0) * 1.05
+    name_w = max(len(c) for c in columns) + 2
+    lines = [title, "-" * len(title)]
+    tick = int((baseline or 0) / scale * width) if baseline else -1
+    for row_name, values in rows.items():
+        lines.append(f"{row_name}:")
+        for col in columns:
+            value = values.get(col)
+            if value is None:
+                lines.append(f"  {col.ljust(name_w)}(n/a)")
+                continue
+            bar = hbar(value, scale, width).ljust(width)
+            if 0 <= tick < width:
+                marker = bar[tick]
+                bar = bar[:tick] + ("|" if marker == " " else marker) \
+                    + bar[tick + 1:]
+            lines.append(f"  {col.ljust(name_w)}{bar} {fmt.format(value)}")
+    if baseline:
+        lines.append(f"  ({'|'} marks the {fmt.format(baseline)} baseline)")
+    return "\n".join(lines)
+
+
+def render_series(title: str, points: dict[str, dict[str, float]],
+                  width: int = 40, fmt: str = "{:.4f}") -> str:
+    """Render a sweep (e.g. Fig. 17: size -> scheme -> seconds) as one
+    bar block per x-point."""
+    return render_grouped_bars(title,
+                               columns=sorted({c for v in points.values()
+                                               for c in v}),
+                               rows=points, width=width, baseline=None,
+                               fmt=fmt)

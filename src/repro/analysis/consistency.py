@@ -1,0 +1,149 @@
+"""Whole-system consistency checking.
+
+These checkers re-derive, from first principles, the invariants each
+scheme's correctness rests on, and raise :class:`ConsistencyViolation`
+with a precise description when one fails.  They are used by the test
+suite after operation batches and are part of the public API so
+downstream experiments (new schemes, modified protocols) can assert
+their own state at any point.
+
+Checked invariants:
+
+* **Verification closure** — every *persisted* tree node's HMAC verifies
+  under the parent counter the verification walk would actually use
+  (pending buffer entry > cached parent > in-flight parent > persisted
+  parent > zero), unless a fresher cached copy supersedes it.
+* **Steins LInc identity** (Sec. III-D) — after draining the NV buffer,
+  ``L_k Inc == sum over dirty level-k nodes of (gensum(cached) -
+  gensum(persisted))``.
+* **Steins seal identity** (Sec. III-B) — every persisted node is sealed
+  under its own gensum, and every persisted parent slot equals the
+  child's persisted gensum (modulo pending updates).
+* **Record coverage** (Sec. III-C) — every dirty cached node appears in
+  the offset records (after an ADR flush).
+"""
+from __future__ import annotations
+
+from repro.baselines.base import SecureMemoryController
+from repro.common.errors import ReproError
+from repro.integrity.node import SITNode
+from repro.nvm.layout import Region
+
+
+class ConsistencyViolation(ReproError):
+    """An architectural invariant does not hold."""
+
+
+def _parent_view(controller: SecureMemoryController, level: int,
+                 index: int) -> int:
+    """The parent counter a verification walk would use right now."""
+    g = controller.geometry
+    slot = g.parent_slot(level, index)
+    pending = getattr(controller, "nv_buffer", None)
+    if pending is not None:
+        value = pending.latest_counter_for(level, index)
+        if value is not None:
+            return value
+    parent = g.parent(level, index)
+    if parent is None:
+        return controller.root.counter(slot)
+    poff = g.node_offset(*parent)
+    pnode = controller.metacache.peek(poff)
+    if pnode is None:
+        pnode = controller._inflight.get(poff)
+    if pnode is not None:
+        return pnode.counter(slot)
+    snap = controller.device.peek(Region.TREE, poff)
+    if snap is None:
+        return 0
+    return SITNode.from_snapshot(snap).counter(slot)
+
+
+def check_verification_closure(controller: SecureMemoryController) -> int:
+    """Every persisted node (not superseded by a cached copy) verifies.
+
+    Returns the number of nodes checked.
+    """
+    g = controller.geometry
+    checked = 0
+    for offset, snap in controller.device.populated(Region.TREE):
+        if controller.metacache.contains(offset):
+            continue  # the cached copy supersedes the persisted one
+        level, index = g.offset_to_node(offset)
+        node = SITNode.from_snapshot(snap)
+        pc = _parent_view(controller, level, index)
+        if not node.hmac_matches(controller.engine, pc):
+            raise ConsistencyViolation(
+                f"persisted node ({level},{index}) does not verify under "
+                f"the current parent view {pc}")
+        checked += 1
+    return checked
+
+
+def check_steins_lincs(controller) -> list[int]:
+    """Recompute the LInc identity from scratch (drains the buffer).
+
+    Returns the recomputed per-level sums; raises on mismatch.
+    """
+    controller.drain_buffer()
+    sums = [0] * controller.geometry.num_levels
+    for offset, node in controller.metacache.dirty_entries():
+        snap = controller.device.peek(Region.TREE, offset)
+        stale = SITNode.from_snapshot(snap).gensum() if snap else 0
+        sums[node.level] += node.gensum() - stale
+    if controller.lincs.values() != sums:
+        raise ConsistencyViolation(
+            f"LInc register {controller.lincs.values()} != derived "
+            f"{sums}")
+    return sums
+
+
+def check_steins_seals(controller) -> int:
+    """Every persisted Steins node is sealed under its own gensum, and
+    parent slots carry children's persisted gensums (or a pending
+    update supersedes).  Returns nodes checked."""
+    g = controller.geometry
+    checked = 0
+    for offset, snap in controller.device.populated(Region.TREE):
+        level, index = g.offset_to_node(offset)
+        node = SITNode.from_snapshot(snap)
+        if not node.hmac_matches(controller.engine, node.gensum()):
+            raise ConsistencyViolation(
+                f"persisted node ({level},{index}) is not sealed under "
+                "its own generated counter")
+        view = _parent_view(controller, level, index)
+        if view != node.gensum():
+            raise ConsistencyViolation(
+                f"parent view of ({level},{index}) is {view}, expected "
+                f"gensum {node.gensum()}")
+        checked += 1
+    return checked
+
+
+def check_record_coverage(controller) -> int:
+    """Every dirty cached node is covered by the offset records.
+
+    Flushes the ADR record cache first (as a crash would); returns the
+    number of dirty nodes checked.
+    """
+    controller.tracker.flush_on_crash()
+    offsets, _ = controller.tracker.read_all_offsets(controller.device)
+    dirty = {off for off, _ in controller.metacache.dirty_entries()}
+    missing = dirty - offsets
+    if missing:
+        raise ConsistencyViolation(
+            f"dirty nodes missing from the offset records: "
+            f"{sorted(missing)[:5]}...")
+    return len(dirty)
+
+
+def check_all(controller) -> dict[str, object]:
+    """Run every applicable checker; returns a summary dict."""
+    summary: dict[str, object] = {
+        "verification_closure": check_verification_closure(controller),
+    }
+    if controller.name == "steins":
+        summary["lincs"] = check_steins_lincs(controller)
+        summary["seals"] = check_steins_seals(controller)
+        summary["record_coverage"] = check_record_coverage(controller)
+    return summary

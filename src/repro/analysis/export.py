@@ -1,0 +1,71 @@
+"""Result persistence: JSON export/import of run results and figures.
+
+Benchmark pipelines (CI regression tracking, plotting notebooks) consume
+these files instead of scraping tables.  Every export carries enough
+provenance (library version, spec parameters) to reproduce the run.
+"""
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.common.errors import ConfigError
+from repro.sim.stats import RunResult
+
+FORMAT_VERSION = 1
+
+
+def export_results(path: str | pathlib.Path,
+                   results: list[RunResult],
+                   context: dict[str, Any] | None = None) -> None:
+    """Write run results (plus free-form context) as JSON."""
+    from repro import __version__
+
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "library_version": __version__,
+        "context": context or {},
+        "results": [r.as_dict() for r in results],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2,
+                                             sort_keys=True))
+
+
+def load_results(path: str | pathlib.Path) -> tuple[list[dict], dict]:
+    """Read exported results back as plain dicts plus the context."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot load results file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "results" not in payload:
+        raise ConfigError(f"results file {path} has no 'results' key")
+    if payload.get("format_version", 0) > FORMAT_VERSION:
+        raise ConfigError(f"results file {path} uses a newer format")
+    return payload["results"], payload.get("context", {})
+
+
+def export_figure(path: str | pathlib.Path, figure: str,
+                  rows: dict[str, dict[str, float]],
+                  baseline_note: str = "") -> None:
+    """Write one figure's normalized rows as JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "figure": figure,
+        "baseline_note": baseline_note,
+        "rows": rows,
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2,
+                                             sort_keys=True))
+
+
+def load_figure(path: str | pathlib.Path
+                ) -> tuple[str, dict[str, dict[str, float]]]:
+    """Read an exported figure back: ``(figure_name, rows)``."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot load figure file {path}: {exc}") from exc
+    if "rows" not in payload or "figure" not in payload:
+        raise ConfigError(f"figure file {path} is malformed")
+    return payload["figure"], payload["rows"]

@@ -1,0 +1,4 @@
+"""Attack injection for validating the threat model (Sec. II-A, III-H)."""
+from repro.attacks.injector import AttackInjector, AttackRecord
+
+__all__ = ["AttackInjector", "AttackRecord"]

@@ -1,0 +1,166 @@
+"""Attack injection (paper Sec. II-A threat model, III-H analysis).
+
+The modelled attacker controls the NVM medium and the memory bus between
+crash and recovery: it can *tamper* (modify stored bits without the
+secret key) and *replay* (substitute an older, authentically-sealed
+version it recorded earlier).  It can also corrupt Steins' offset
+records to flip the apparent clean/dirty state of nodes.
+
+Each attack primitive mutates the device via ``peek``/``poke`` (no
+statistics side effects) and returns a description of what it did, so
+tests can assert that the *matching* detection error is raised during
+recovery or subsequent reads.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.constants import OFFSET_EMPTY
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.counters import block_from_snapshot
+from repro.nvm.device import NVMDevice
+from repro.nvm.layout import Region
+
+
+@dataclass(frozen=True)
+class AttackRecord:
+    """What an injection did (for test assertions and reports)."""
+
+    kind: str
+    region: str
+    index: int
+    description: str
+
+
+class AttackInjector:
+    """Stateful attacker: can record old values and splice them back."""
+
+    def __init__(self, device: NVMDevice, seed: int = 7) -> None:
+        self.device = device
+        self.rng = make_rng(seed, "attacker")
+        self._recordings: dict[tuple[Region, int], object] = {}
+
+    # -------------------------------------------------------- recording
+    def record(self, region: Region, index: int) -> None:
+        """Snapshot a line for a later replay (the bus-snooping step)."""
+        self._recordings[(region, index)] = self.device.peek(region, index)
+
+    def record_populated(self, region: Region) -> int:
+        """Record every populated line of a region; returns the count."""
+        n = 0
+        for index, value in self.device.populated(region):
+            self._recordings[(region, index)] = value
+            n += 1
+        return n
+
+    # --------------------------------------------------------- tampering
+    def tamper_tree_counter(self, offset: int, delta: int = 1
+                            ) -> AttackRecord:
+        """Modify a persisted tree node's counter without resealing.
+
+        Caught by HMAC verification (the attacker lacks the key).
+        """
+        snap = self.device.peek(Region.TREE, offset)
+        if snap is None:
+            raise ConfigError(f"no persisted node at offset {offset}")
+        block = block_from_snapshot(snap[3])
+        if hasattr(block, "counters"):
+            block.counters[0] = block.counters[0] + delta
+        else:
+            block.major += delta
+        forged = (snap[0], snap[1], snap[2], block.snapshot(), *snap[4:])
+        self.device.poke(Region.TREE, offset, forged)
+        return AttackRecord("tamper", "tree", offset,
+                            f"counter[0] += {delta} without resealing")
+
+    def tamper_data_block(self, block_addr: int) -> AttackRecord:
+        """Flip bits of a stored ciphertext (detected by the data HMAC)."""
+        value = self.device.peek(Region.DATA, block_addr)
+        if value is None:
+            raise ConfigError(f"no data at block {block_addr}")
+        tag, cipher, hmac, echo = value
+        self.device.poke(Region.DATA, block_addr,
+                         (tag, cipher ^ 0b1011, hmac, echo))
+        return AttackRecord("tamper", "data", block_addr,
+                            "ciphertext bits flipped")
+
+    def tamper_data_mac(self, block_addr: int) -> AttackRecord:
+        """Corrupt a stored data HMAC (detected on verification)."""
+        value = self.device.peek(Region.DATA, block_addr)
+        if value is None:
+            raise ConfigError(f"no data at block {block_addr}")
+        tag, cipher, hmac, echo = value
+        self.device.poke(Region.DATA, block_addr,
+                         (tag, cipher, hmac ^ 1, echo))
+        return AttackRecord("tamper", "data", block_addr, "HMAC corrupted")
+
+    # ----------------------------------------------------------- replay
+    def replay(self, region: Region, index: int) -> AttackRecord:
+        """Splice a previously recorded (authentic but stale) line back.
+
+        Tree/data replays pass HMAC checks and must be caught by the
+        monotonic trust bases (LIncs / root counters / cache-trees).
+        """
+        key = (region, index)
+        if key not in self._recordings:
+            raise ConfigError(f"nothing recorded for {region.value}[{index}]")
+        self.device.poke(region, index, self._recordings[key])
+        return AttackRecord("replay", region.value, index,
+                            "stale authentic line spliced back")
+
+    def replay_all_recorded(self) -> int:
+        """Splice back every recording (whole-region rollback attack)."""
+        for (region, index), value in self._recordings.items():
+            self.device.poke(region, index, value)
+        return len(self._recordings)
+
+    # ---------------------------------------------------------- records
+    def erase_offset_record(self, offset: int) -> AttackRecord:
+        """Mark a dirty node clean by scrubbing it from the offset
+        records (Sec. III-H: makes the computed LInc smaller than the
+        stored LInc — detected as a replay-style attack)."""
+        found = False
+        for line_idx, stored in list(self.device.populated(Region.RECORDS)):
+            if stored is None or offset not in stored:
+                continue
+            cleaned = tuple(OFFSET_EMPTY if o == offset else o
+                            for o in stored)
+            self.device.poke(Region.RECORDS, line_idx, cleaned)
+            found = True
+        if not found:
+            raise ConfigError(f"offset {offset} not present in any record")
+        return AttackRecord("record-erase", "records", offset,
+                            "dirty node scrubbed from offset records")
+
+    def forge_offset_record(self, offset: int) -> AttackRecord:
+        """Mark a clean node dirty by injecting its offset into a free
+        record slot (Sec. III-H: harmless — increment computes to zero)."""
+        for line_idx, stored in list(self.device.populated(Region.RECORDS)):
+            if stored is None:
+                continue
+            entries = list(stored)
+            for i, o in enumerate(entries):
+                if o == OFFSET_EMPTY:
+                    entries[i] = offset
+                    self.device.poke(Region.RECORDS, line_idx, tuple(entries))
+                    return AttackRecord(
+                        "record-forge", "records", offset,
+                        "clean node injected into offset records")
+        # no free slot in populated lines: fabricate a fresh line
+        for line_idx in range(self.device.layout.record_lines):
+            if self.device.peek(Region.RECORDS, line_idx) is None:
+                entries = [OFFSET_EMPTY] * 16
+                entries[0] = offset
+                self.device.poke(Region.RECORDS, line_idx, tuple(entries))
+                return AttackRecord(
+                    "record-forge", "records", offset,
+                    "clean node injected into a fabricated record line")
+        raise ConfigError("no record slot available to forge into")
+
+    def pick_populated(self, region: Region) -> int:
+        """A random populated index of a region (for fuzzing tests)."""
+        indices = [idx for idx, _ in self.device.populated(region)]
+        if not indices:
+            raise ConfigError(f"region {region.value} is empty")
+        return int(self.rng.choice(indices))

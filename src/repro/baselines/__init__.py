@@ -1,0 +1,21 @@
+"""Comparison schemes: WB (baseline), ASIT (Anubis-SIT), STAR, SCUE."""
+from repro.baselines.asit import ASITController
+from repro.baselines.base import ControllerStats, SecureMemoryController
+from repro.baselines.cachetree import CacheTree
+from repro.baselines.report import READ_VERIFY_NS, RecoveryReport
+from repro.baselines.scue import SCUEController
+from repro.baselines.star import MultiLayerBitmap, STARController
+from repro.baselines.wb import WBController
+
+__all__ = [
+    "ASITController",
+    "CacheTree",
+    "ControllerStats",
+    "MultiLayerBitmap",
+    "READ_VERIFY_NS",
+    "SCUEController",
+    "RecoveryReport",
+    "STARController",
+    "SecureMemoryController",
+    "WBController",
+]

@@ -1,0 +1,505 @@
+"""Shared machinery of every secure memory controller.
+
+The controller sits between the LLC and the NVM device and implements
+(Sec. II): counter-mode encryption of data blocks, per-block HMACs
+(co-located with data a la Synergy [52], so one line access moves both),
+and the SGX-style integrity tree with the lazy update scheme, backed by
+the metadata cache of Table I.
+
+The four evaluated schemes (WB, ASIT, STAR, Steins) share this base and
+differ only in the hooks:
+
+* ``_flush_dirty_node``     — the lazy-update flush protocol,
+* ``_on_metadata_modified`` — called on every counter mutation of a
+  cached node (ASIT shadows it; ASIT/STAR update their cache-trees),
+* ``_on_clean_to_dirty`` / ``_on_dirty_to_clean`` — residency-state
+  transitions (Steins records; STAR bitmap),
+* ``_on_leaf_incremented``  — data-write counter bumps (Steins LInc0),
+* ``_pre_read``             — work required before reads are allowed
+  (Steins drains its NV parent buffer, Sec. III-E).
+"""
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.common.config import CounterMode, SystemConfig, UpdateScheme
+from repro.common.errors import RecoveryError, TamperDetectedError
+from repro.counters import OverflowPolicy
+from repro.counters.base import IncrementResult
+from repro.crypto import cme
+from repro.crypto.engine import HashEngine, make_engine
+from repro.integrity.geometry import TreeGeometry, geometry_for
+from repro.integrity.metacache import MetadataCache
+from repro.integrity.node import SITNode, make_empty_node
+from repro.integrity.sit import SITRoot, verify_node
+from repro.nvm.device import NVMDevice
+from repro.nvm.layout import Region
+
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sim.clock import MemClock
+
+#: persisted data-line value: (tag, ciphertext, hmac, counter_echo)
+DataLine = tuple
+
+
+@dataclass
+class ControllerStats:
+    """Per-controller observational counters."""
+
+    data_reads: int = 0
+    data_writes: int = 0
+    read_latency_ns: float = 0.0
+    write_latency_ns: float = 0.0
+    max_read_latency_ns: float = 0.0
+    max_write_latency_ns: float = 0.0
+    metadata_fetches: int = 0
+    metadata_writebacks: int = 0
+    reencrypted_blocks: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def avg_read_ns(self) -> float:
+        return self.read_latency_ns / self.data_reads if self.data_reads else 0.0
+
+    @property
+    def avg_write_ns(self) -> float:
+        return self.write_latency_ns / self.data_writes if self.data_writes else 0.0
+
+    def bump(self, key: str, n: int = 1) -> None:
+        self.extra[key] = self.extra.get(key, 0) + n
+
+
+class SecureMemoryController:
+    """Base secure controller: CME + SIT with lazy updates."""
+
+    #: scheme label, overridden by subclasses ("wb", "asit", ...)
+    name = "base"
+    #: whether crash recovery is supported
+    supports_recovery = False
+    #: self-incrementing schemes persist a flushed victim only at the end
+    #: of its flush, so mid-flush fetches must use the live in-flight
+    #: object; Steins persists first (generated counters need no parent)
+    #: and overrides this to False so fetches read the already-current NVM
+    uses_inflight_fetch = True
+    #: whether the scheme works under the eager update scheme (Sec. II-C);
+    #: STAR's echoes and Steins' generated counters both require lazy
+    supports_eager_updates = True
+
+    def __init__(self, cfg: SystemConfig, device: NVMDevice,
+                 clock: "MemClock") -> None:
+        # eviction/flush chains are recursive across levels and sets;
+        # physically bounded, but give CPython generous headroom.
+        if sys.getrecursionlimit() < 100_000:
+            sys.setrecursionlimit(100_000)
+        self.cfg = cfg
+        self.device = device
+        self.clock = clock
+        self.engine: HashEngine = make_engine(
+            cfg.security.secret_key,
+            cryptographic=cfg.security.cryptographic_hashes)
+        self.geometry: TreeGeometry = geometry_for(
+            cfg.num_data_blocks, cfg.security)
+        self.metacache = MetadataCache(cfg.security.metadata_cache)
+        self.root = SITRoot(self.geometry)
+        self.stats = ControllerStats()
+        self._leaf_split = cfg.security.counter_mode is CounterMode.SPLIT
+        self._overflow_policy = self._leaf_overflow_policy()
+        self._eager = cfg.security.update_scheme is UpdateScheme.EAGER
+        if self._eager and not self.supports_eager_updates:
+            raise RecoveryError(
+                f"scheme {self.name!r} requires the lazy update scheme "
+                "(its recovery protocol depends on dirty nodes being "
+                "consistent with their *persisted* children)")
+        self._crashed = False
+        #: dirty victims between removal and persist (see ``_install``)
+        self._inflight: dict[int, SITNode] = {}
+
+    # ------------------------------------------------------------ hooks
+    def _leaf_overflow_policy(self) -> OverflowPolicy:
+        """Baselines use the conventional split counter; Steins overrides
+        with the skip-update policy (Sec. III-B.1)."""
+        return OverflowPolicy.PLAIN
+
+    def _on_metadata_modified(self, offset: int, node: SITNode) -> None:
+        """Counter content of a cached node changed."""
+
+    def _on_clean_to_dirty(self, offset: int, node: SITNode) -> None:
+        """A resident node transitioned clean -> dirty."""
+
+    def _on_dirty_to_clean(self, offset: int, node: SITNode,
+                           evicted: bool) -> None:
+        """A dirty node was persisted (in place or by eviction)."""
+
+    def _on_leaf_incremented(self, offset: int, node: SITNode,
+                             result: IncrementResult) -> None:
+        """A leaf counter was bumped by a data write."""
+
+    def _pre_read(self) -> None:
+        """Invoked before any read operation is served."""
+
+    # -------------------------------------------------------- data path
+    def write_data(self, block_addr: int, plaintext: int) -> None:
+        """Handle a dirty data-block eviction from the LLC (Sec. III-F)."""
+        self._check_alive()
+        t0 = self.clock.now
+        g = self.geometry
+        leaf_index = g.leaf_for_block(block_addr)
+        slot = g.leaf_slot_for_block(block_addr)
+        leaf_offset = g.node_offset(0, leaf_index)
+        leaf = self._ensure_node(0, leaf_index)
+
+        result = leaf.block.increment(slot)
+        self.clock.alu_op()
+        self._mark_dirty(leaf_offset, leaf)
+        self._on_leaf_incremented(leaf_offset, leaf, result)
+        self._on_metadata_modified(leaf_offset, leaf)
+        if self._eager:
+            # eager update scheme (Sec. II-C): every ancestor on the
+            # branch is updated on each data write — significant memory
+            # access and computation overhead on cache misses
+            self._eager_update_branch(leaf_index)
+        if result.minor_overflow:
+            # all minors were reset: every covered block must be
+            # re-encrypted under its new counter (Sec. II-B)
+            self._reencrypt_leaf(leaf_index, leaf, skip_slot=slot)
+
+        counter = leaf.block.counter(slot)
+        self.clock.aes_op()   # OTP generation (serial on the write path)
+        cipher = cme.encrypt_block(self.engine, block_addr, counter, plaintext)
+        self.clock.hash_op()  # data HMAC
+        hmac = cme.data_hmac(self.engine, block_addr, counter, plaintext)
+        done = self.clock.nvm_write(
+            Region.DATA, block_addr, ("data", cipher, hmac, counter))
+        self.stats.data_writes += 1
+        latency = max(done, self.clock.now) - t0
+        self.stats.write_latency_ns += latency
+        if latency > self.stats.max_write_latency_ns:
+            self.stats.max_write_latency_ns = latency
+
+    def read_data(self, block_addr: int) -> int:
+        """Handle an LLC demand miss: fetch, decrypt, verify (Sec. III-F)."""
+        self._check_alive()
+        t0 = self.clock.now
+        self._pre_read()
+        g = self.geometry
+        leaf = self._ensure_node(0, g.leaf_for_block(block_addr))
+        counter = leaf.block.counter(g.leaf_slot_for_block(block_addr))
+
+        # The data fetch overlaps OTP generation (CME's latency hiding).
+        value, done_data = self.clock.nvm_read_overlapped(
+            Region.DATA, block_addr)
+        self.clock.aes_op()
+        self.clock.join(done_data)
+
+        plaintext = self._decrypt_and_verify(block_addr, counter, value)
+        self.stats.data_reads += 1
+        latency = self.clock.now - t0
+        self.stats.read_latency_ns += latency
+        if latency > self.stats.max_read_latency_ns:
+            self.stats.max_read_latency_ns = latency
+        return plaintext
+
+    def _decrypt_and_verify(self, block_addr: int, counter: int,
+                            value: DataLine | None) -> int:
+        if value is None:
+            if counter != 0:
+                raise TamperDetectedError(
+                    f"data block {block_addr} missing but its counter is "
+                    f"{counter} (deletion attack)")
+            return 0
+        _, cipher, hmac, _echo = value
+        plaintext = cme.decrypt_block(self.engine, block_addr, counter, cipher)
+        self.clock.hash_op()
+        if hmac != cme.data_hmac(self.engine, block_addr, counter, plaintext):
+            raise TamperDetectedError(
+                f"data HMAC mismatch for block {block_addr}")
+        return plaintext
+
+    def _reencrypt_leaf(self, leaf_index: int, leaf: SITNode,
+                        skip_slot: int) -> None:
+        """Re-encrypt every block a leaf covers after a minor overflow.
+
+        Blocks never written before are materialized as zero plaintext,
+        exactly as physical memory cells would be.
+        """
+        for addr in self.geometry.leaf_data_blocks(leaf_index):
+            slot = self.geometry.leaf_slot_for_block(addr)
+            if slot == skip_slot:
+                continue  # about to be rewritten with fresh data anyway
+            old = self.clock.nvm_read(Region.DATA, addr)
+            if old is None:
+                plaintext = 0
+            else:
+                _, cipher, hmac, echo = old
+                plaintext = cme.decrypt_block(self.engine, addr, echo, cipher)
+                self.clock.hash_op()
+                if hmac != cme.data_hmac(self.engine, addr, echo, plaintext):
+                    raise TamperDetectedError(
+                        f"re-encryption found corrupt block {addr}")
+                self.clock.aes_op()
+            new_counter = leaf.block.counter(slot)
+            self.clock.aes_op()
+            new_cipher = cme.encrypt_block(
+                self.engine, addr, new_counter, plaintext)
+            self.clock.hash_op()
+            new_hmac = cme.data_hmac(
+                self.engine, addr, new_counter, plaintext)
+            self.clock.nvm_write(
+                Region.DATA, addr, ("data", new_cipher, new_hmac, new_counter))
+            self.stats.reencrypted_blocks += 1
+
+    # ----------------------------------------------------- node fetches
+    def _ensure_node(self, level: int, index: int) -> SITNode:
+        """Return the cached node, fetching + verifying on a miss.
+
+        The verification walk recurses to the first cached ancestor (or
+        the root register), exactly as described in Sec. II-C.
+        """
+        offset = self.geometry.node_offset(level, index)
+        node = self.metacache.lookup(offset)
+        if node is not None:
+            self.clock.sram_op()
+            return node
+        if self.uses_inflight_fetch:
+            inflight = self._inflight.get(offset)
+            if inflight is not None:
+                # mid-flush victim: its live object is the authoritative
+                # copy (self-incrementing schemes persist only at the end
+                # of the flush)
+                return inflight
+        # Walk the ancestor chain into the cache.  The walk itself can
+        # trigger eviction-flush chains that fetch, update, and even
+        # re-persist this very node, so its return value may be stale:
+        # the counter used for verification is re-captured below, after
+        # the node is read, when the (now-cached) chain is quiescent.
+        self._parent_counter(level, index)
+        node = self.metacache.peek(offset)
+        if node is not None:
+            # an eviction chain installed (and possibly updated) it
+            return node
+        snap = self.clock.nvm_read(Region.TREE, offset)
+        if snap is None:
+            node = make_empty_node(level, index, self._leaf_split,
+                                   self.engine, self._overflow_policy)
+        else:
+            node = SITNode.from_snapshot(snap)
+            if node.is_leaf and hasattr(node.block, "policy"):
+                node.block.policy = self._overflow_policy
+        parent_counter = self._parent_counter(level, index)
+        self.clock.hash_op()
+        verify_node(self.engine, node, parent_counter)
+        self.stats.metadata_fetches += 1
+        self._install(offset, node, dirty=False, refresh_on_flush=True)
+        cached = self.metacache.peek(offset)
+        return cached if cached is not None else node
+
+    def _parent_counter(self, level: int, index: int) -> int:
+        """Counter covering (level, index) from its parent or the root."""
+        parent = self.geometry.parent(level, index)
+        slot = self.geometry.parent_slot(level, index)
+        if parent is None:
+            return self.root.counter(slot)
+        return self._ensure_node(*parent).counter(slot)
+
+    def _install(self, offset: int, node: SITNode, dirty: bool,
+                 refresh_on_flush: bool = False) -> None:
+        """Insert a node, flushing dirty victims first.
+
+        ``refresh_on_flush`` guards against a fetch/insert race: the
+        eviction chain below can re-fetch, update, evict, and re-persist
+        ``offset`` itself, making the caller's fetched snapshot stale.
+        When any victim was flushed, the node is re-materialized from the
+        (self-written, hence trusted) NVM copy just before insertion.
+
+        Two further consistency rules govern the loop:
+
+        * between a dirty victim's removal and its persist, its latest
+          state exists only in the in-flight object, so it is published
+          in ``_inflight``: a recursive fetch during the victim's own
+          flush (e.g. a deeper eviction whose parent *is* the victim)
+          gets the live object instead of forking the stale NVM copy —
+          and any counter it gains there is persisted by the very flush
+          in progress, because the flush seals and writes only after its
+          parent walk completes;
+        * recursive ancestor fetches may install ``offset`` themselves;
+          the recursively installed copy is authoritative (it may already
+          have absorbed counter updates) and this insert is dropped.
+        """
+        flushed_any = False
+        while True:
+            if self.metacache.contains(offset):
+                if dirty:
+                    self._mark_dirty(offset, self.metacache.peek(offset))
+                return
+            victim = self.metacache.victim_candidate(offset)
+            if victim is None or not victim[2]:
+                if flushed_any and refresh_on_flush:
+                    snap = self.device.peek(Region.TREE, offset)
+                    if snap is not None:
+                        node = SITNode.from_snapshot(snap)
+                        if node.is_leaf and hasattr(node.block, "policy"):
+                            node.block.policy = self._overflow_policy
+                self.metacache.insert(offset, node, dirty)
+                return
+            voff, vnode, _ = victim
+            self.metacache.remove(voff)
+            self.metacache.stats.evictions += 1
+            self.metacache.stats.dirty_evictions += 1
+            # Steins can re-fetch and re-evict the same offset while an
+            # outer flush of it is still in its (post-persist) apply
+            # phase, nesting two in-flight copies: save and restore.
+            outer_inflight = self._inflight.get(voff)
+            self._inflight[voff] = vnode
+            try:
+                self._flush_dirty_node(vnode)
+            finally:
+                if outer_inflight is None:
+                    self._inflight.pop(voff, None)
+                else:
+                    self._inflight[voff] = outer_inflight
+            self._on_dirty_to_clean(voff, vnode, evicted=True)
+            flushed_any = True
+
+    def _mark_dirty(self, offset: int, node: SITNode) -> None:
+        if self.metacache.mark_dirty(offset):
+            self._on_clean_to_dirty(offset, node)
+
+    def _force_install(self, offset: int, node: SITNode) -> None:
+        """Recovery-side install: the given content is authoritative and
+        must land in the cache marked dirty, even if a (stale) copy was
+        pulled in by an eviction chain in the meantime."""
+        existing = self.metacache.peek(offset)
+        if existing is None:
+            self._install(offset, node, dirty=False)
+            existing = self.metacache.peek(offset)
+        if existing is not None and existing is not node:
+            existing.block = node.block
+            existing.hmac = node.hmac
+        target = existing if existing is not None else node
+        self._mark_dirty(offset, target)
+
+    def _eager_update_branch(self, leaf_index: int) -> None:
+        """Bump every ancestor's counter on the leaf's branch.
+
+        Each ancestor is pulled into the cache (iterative verified reads
+        on the write path when it misses), incremented in the slot that
+        covers the write, marked dirty, and — for ASIT/STAR — shadowed /
+        set-MACed, which is what makes eager updates expensive.
+        """
+        g = self.geometry
+        node_id: tuple[int, int] | None = (0, leaf_index)
+        while node_id is not None:
+            slot = g.parent_slot(*node_id)
+            parent = g.parent(*node_id)
+            self.clock.alu_op()
+            self.clock.hash_op()   # the branch HMACs recompute eagerly
+            if parent is None:
+                self.root.add(slot, 1)
+                break
+            pnode = self._ensure_node(*parent)
+            poff = g.node_offset(*parent)
+            pnode.block.set_counter(slot, pnode.counter(slot) + 1)
+            if self.metacache.contains(poff):
+                self._mark_dirty(poff, pnode)
+                self._on_metadata_modified(poff, pnode)
+            node_id = parent
+
+    # ---------------------------------------------------- flush protocol
+    def _flush_dirty_node(self, node: SITNode) -> None:
+        """Write-back flush (the conventional SIT scheme of WB/ASIT/STAR).
+
+        Lazy (Sec. II-C): the parent counter self-increments at eviction
+        time.  Eager: ancestors were already updated at write time, so
+        the node is sealed under the parent's *current* counter.  Either
+        way the parent must be fetched if missing — iterative reads on
+        the write critical path that Steins specifically removes.
+        """
+        if self._eager:
+            parent_counter = self._parent_counter(node.level, node.index)
+        else:
+            parent_counter = self._bump_parent(node)
+        self.clock.hash_op()
+        node.seal(self.engine, parent_counter)
+        self._persist_node(node)
+
+    def _bump_parent(self, node: SITNode) -> int:
+        """Self-increment the parent counter for ``node``; returns it."""
+        g = self.geometry
+        slot = g.parent_slot(node.level, node.index)
+        parent = g.parent(node.level, node.index)
+        self.clock.alu_op()
+        if parent is None:
+            self.root.add(slot, 1)
+            return self.root.counter(slot)
+        pnode = self._ensure_node(*parent)
+        poff = g.node_offset(*parent)
+        pnode.block.set_counter(slot, pnode.counter(slot) + 1)
+        if self.metacache.contains(poff):
+            self._mark_dirty(poff, pnode)
+            self._on_metadata_modified(poff, pnode)
+        # else: the parent is itself mid-flush; the bump rides along with
+        # the flush already in progress and is durable without hooks
+        return pnode.counter(slot)
+
+    def _persist_node(self, node: SITNode) -> None:
+        self.clock.nvm_write(
+            Region.TREE,
+            self.geometry.node_offset(node.level, node.index),
+            node.snapshot())
+        self.stats.metadata_writebacks += 1
+
+    # -------------------------------------------------------- lifecycle
+    def flush_all(self) -> None:
+        """Graceful shutdown: persist every dirty node, leaves first so
+        parent counters absorb child flushes before their own.
+
+        Child flushes mark parents dirty, and parent fetches can evict
+        and flush other entries mid-loop, so the pass repeats until no
+        dirty node remains.
+        """
+        self._check_alive()
+        for _ in range(4 * self.geometry.num_levels + 8):
+            dirty = sorted(self.metacache.dirty_entries(),
+                           key=lambda e: e[1].level)
+            if not dirty:
+                return
+            for offset, node in dirty:
+                if not self.metacache.is_dirty(offset):
+                    continue  # an eviction or deeper flush already did it
+                self._flush_dirty_node(node)
+                if self.metacache.contains(offset):
+                    self.metacache.mark_clean(offset)
+                self._on_dirty_to_clean(offset, node, evicted=False)
+        if self.metacache.dirty_count():
+            raise AssertionError("flush_all failed to reach a clean state")
+
+    def crash(self) -> None:
+        """Power failure: volatile controller state is lost."""
+        self.metacache.clear()
+        self._crash_volatile_state()
+        self._crashed = True
+
+    def _crash_volatile_state(self) -> None:
+        """Scheme-specific volatile state dropped at crash time."""
+
+    def recover(self) -> "object":
+        """Rebuild a consistent metadata state after a crash."""
+        raise RecoveryError(
+            f"scheme {self.name!r} does not support recovery")
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise RecoveryError(
+                f"controller {self.name!r} crashed; recover() first")
+
+    # ------------------------------------------------------- inspection
+    def cached_dirty_offsets(self) -> set[int]:
+        return {off for off, _ in self.metacache.dirty_entries()}
+
+    def tree_state_fingerprint(self) -> dict[int, tuple]:
+        """Persisted TREE region as {offset: snapshot} for golden checks."""
+        return dict(self.device.populated(Region.TREE))

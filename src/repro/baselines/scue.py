@@ -1,0 +1,224 @@
+"""SCUE — root crash consistency for SIT (Huang & Hua, HPCA'23), the
+comparator the paper describes but excludes from its figures
+("we do not compare our Steins with the SCUE, since it needs to
+reconstruct the whole tree, incurring unacceptable recovery time").
+
+Modelled behaviour:
+
+* **Runtime** — near-WB performance: the only extra state is the
+  on-chip ``Recovery_root`` register, the running sum of all leaf
+  counters, bumped once per data write.  Parent counters are generated
+  from child content (sum-consistent, like Steins), so the whole tree is
+  reconstructible from its leaves by summation.
+* **Recovery** — no tracking exists, so *every* leaf that ever covered a
+  written block is rebuilt from its covered data blocks' counter echoes
+  (verified by the data HMACs), the tree is re-summed bottom-up, the
+  grand total is compared against ``Recovery_root`` (replay detection),
+  and the entire rebuilt tree is re-persisted.  Cost scales with the
+  *data footprint*, not the metadata cache — hour-scale for TB memories,
+  which is exactly why the paper leaves it out of Fig. 17.
+
+Implementing it here lets the benchmarks put a measured number on that
+exclusion (``bench_fig17_recovery_time`` adds the SCUE row).
+"""
+from __future__ import annotations
+
+from repro.baselines.base import SecureMemoryController
+from repro.baselines.report import RecoveryReport
+from repro.common.config import SystemConfig
+from repro.common.errors import RecoveryError, ReplayDetectedError, \
+    TamperDetectedError
+from repro.counters import GeneralCounterBlock, SplitCounterBlock
+from repro.counters.base import IncrementResult
+from repro.crypto import cme
+from repro.integrity.node import SITNode
+from repro.nvm.adr import NonVolatileRegister
+from repro.nvm.device import NVMDevice
+from repro.nvm.layout import Region
+
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sim.clock import MemClock
+
+
+class SCUEController(SecureMemoryController):
+    """Recovery_root + whole-tree-rebuild scheme."""
+
+    name = "scue"
+    supports_recovery = True
+    #: generated (sum) counters need lazy-update consistency, like Steins
+    supports_eager_updates = False
+    #: flushes persist before propagating, like Steins
+    uses_inflight_fetch = False
+
+    def __init__(self, cfg: SystemConfig, device: NVMDevice,
+                 clock: "MemClock") -> None:
+        super().__init__(cfg, device, clock)
+        #: the sum of all leaf counters, updated on-chip per write
+        self.recovery_root = NonVolatileRegister("recovery_root", 8,
+                                                 initial=0)
+        #: updates whose parent fetch is in progress (see Steins'
+        #: equivalent register: the fetch walk may need to verify the
+        #: just-persisted child before its parent slot carries the value)
+        self._pending_applies: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------ hooks
+    def _leaf_overflow_policy(self):
+        from repro.counters import OverflowPolicy
+
+        return (OverflowPolicy.SKIP if self._leaf_split
+                else OverflowPolicy.PLAIN)
+
+    def _on_leaf_incremented(self, offset: int, node: SITNode,
+                             result: IncrementResult) -> None:
+        # one register addition per write: SCUE's entire runtime cost
+        self.recovery_root.value += result.gensum_delta
+        self.clock.sram_op()
+
+    # ---------------------------------------------------- flush protocol
+    def _flush_dirty_node(self, node: SITNode) -> None:
+        """Sum-generated counters (the property recovery relies on), but
+        without Steins' NV buffer: an uncached parent is fetched on the
+        write path, as in WB."""
+        generated = node.gensum()
+        self.clock.alu_op(cycles_each=2.0)
+        self.clock.hash_op()
+        node.seal(self.engine, generated)
+        self._persist_node(node)
+        g = self.geometry
+        slot = g.parent_slot(node.level, node.index)
+        parent = g.parent(node.level, node.index)
+        if parent is None:
+            self.root.set_counter(slot, generated)
+            return
+        key = (node.level, node.index)
+        outer = self._pending_applies.get(key)
+        self._pending_applies[key] = generated
+        try:
+            pnode = self._ensure_node(*parent)
+        finally:
+            if outer is None:
+                self._pending_applies.pop(key, None)
+            else:
+                self._pending_applies[key] = outer
+        if generated > pnode.counter(slot):
+            pnode.block.set_counter(slot, generated)
+            poff = g.node_offset(*parent)
+            if self.metacache.contains(poff):
+                self._mark_dirty(poff, pnode)
+
+    def _parent_counter(self, level: int, index: int) -> int:
+        in_progress = self._pending_applies.get((level, index))
+        if in_progress is not None:
+            return in_progress
+        return super()._parent_counter(level, index)
+
+    def _crash_volatile_state(self) -> None:
+        self._pending_applies.clear()
+
+    # --------------------------------------------------------- recovery
+    def recover(self) -> RecoveryReport:
+        """Rebuild the entire tree from the data region (Sec. II-D)."""
+        if not self._crashed:
+            raise RecoveryError("recover() called without a crash")
+        report = RecoveryReport(self.name)
+        g = self.geometry
+
+        # 1. find every leaf that covers any written data block — SCUE
+        #    has no dirty tracking, so all of them must be rebuilt
+        leaves: set[int] = set()
+        for addr, _ in self.device.populated(Region.DATA):
+            leaves.add(g.leaf_for_block(addr))
+        for offset, _ in self.device.populated(Region.TREE):
+            level, index = g.offset_to_node(offset)
+            if level == 0:
+                leaves.add(index)
+
+        # 2. rebuild each leaf from its covered blocks' counter echoes
+        rebuilt: dict[tuple[int, int], SITNode] = {}
+        total = 0
+        for leaf_index in sorted(leaves):
+            node = self._rebuild_leaf(leaf_index, report)
+            rebuilt[(0, leaf_index)] = node
+            total += node.gensum()
+            report.nodes_recovered += 1
+
+        # 3. the Recovery_root check: a replayed data block lowers the
+        #    recomputed sum below the stored register value
+        if total != self.recovery_root.value:
+            if total < self.recovery_root.value:
+                raise ReplayDetectedError(
+                    f"Recovery_root mismatch: recomputed {total} < stored "
+                    f"{self.recovery_root.value} — replayed data detected")
+            raise TamperDetectedError(
+                f"Recovery_root mismatch: recomputed {total} > stored "
+                f"{self.recovery_root.value}")
+
+        # 4. re-sum the intermediate levels bottom-up, re-persisting every
+        #    rebuilt node sealed under its regenerated counter — writing
+        #    the *whole tree* back is part of SCUE's recovery bill
+        current = {index: node for (lvl, index), node in rebuilt.items()}
+        for level in range(g.num_levels):
+            for index, node in current.items():
+                node.seal(self.engine, node.gensum())
+                report.hash()
+                self.device.poke(Region.TREE, g.node_offset(level, index),
+                                 node.snapshot())
+                report.write()
+            if level == g.top_level:
+                for index, node in current.items():
+                    self.root.set_counter(index, node.gensum())
+                break
+            parents: dict[int, SITNode] = {}
+            for index, node in current.items():
+                parent_index = index // g.arity
+                parent = parents.get(parent_index)
+                if parent is None:
+                    parent = SITNode(level + 1, parent_index,
+                                     GeneralCounterBlock())
+                    parents[parent_index] = parent
+                parent.block.set_counter(index % g.arity, node.gensum())
+            current = parents
+
+        self._crashed = False
+        return report
+
+    def _rebuild_leaf(self, leaf_index: int,
+                      report: RecoveryReport) -> SITNode:
+        g = self.geometry
+        if self._leaf_split:
+            major = 0
+            minors = [0] * g.leaf_coverage
+            for addr in g.leaf_data_blocks(leaf_index):
+                value = self.device.peek(Region.DATA, addr)
+                report.read()
+                if value is None:
+                    continue
+                self._verify_data_echo(addr, value, report)
+                echo = value[3]
+                minors[g.leaf_slot_for_block(addr)] = echo & 63
+                major = max(major, echo >> 6)
+            block: GeneralCounterBlock | SplitCounterBlock = \
+                SplitCounterBlock(major, minors, self._overflow_policy)
+        else:
+            block = GeneralCounterBlock()
+            for addr in g.leaf_data_blocks(leaf_index):
+                value = self.device.peek(Region.DATA, addr)
+                report.read()
+                if value is None:
+                    continue
+                self._verify_data_echo(addr, value, report)
+                block.set_counter(g.leaf_slot_for_block(addr), value[3])
+        return SITNode(0, leaf_index, block)
+
+    def _verify_data_echo(self, addr: int, value: tuple,
+                          report: RecoveryReport) -> None:
+        _, cipher, hmac, echo = value
+        plaintext = cme.decrypt_block(self.engine, addr, echo, cipher)
+        report.hash()
+        if hmac != cme.data_hmac(self.engine, addr, echo, plaintext):
+            raise TamperDetectedError(
+                f"data block {addr} failed verification during the SCUE "
+                "rebuild")

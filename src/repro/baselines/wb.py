@@ -1,0 +1,17 @@
+"""WB: the write-back baseline without recovery support (Sec. IV).
+
+Plain CME + SIT with lazy updates: dirty metadata is written back only on
+cache replacement, nothing extra is persisted, and a crash loses the
+dirty nodes irrecoverably.  Every figure of the paper is normalized to
+WB (WB-GC for Figs. 9-11/13/15, WB-SC for Figs. 12/14/16).
+"""
+from __future__ import annotations
+
+from repro.baselines.base import SecureMemoryController
+
+
+class WBController(SecureMemoryController):
+    """The no-recovery baseline; all behaviour is the shared base."""
+
+    name = "wb"
+    supports_recovery = False

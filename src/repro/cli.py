@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       simulate one (variant, workload) cell and print metrics
+``compare``   run all variants on one workload, print the normalized table
+``figure``    regenerate one of the paper's figures (9-17)
+``recover``   crash/recovery demo with timings
+``storage``   the Sec. IV-E storage-overhead table
+``overflow``  the Sec. III-B.2 counter-lifetime analysis
+``workloads`` list the available workload profiles
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.charts import render_grouped_bars, render_series
+from repro.analysis.figures import FigureHarness
+from repro.analysis.recovery_model import scue_rebuild_estimate
+from repro.analysis.report import render_kv, render_table
+from repro.analysis.storage import all_storage_breakdowns
+from repro.common.config import small_config
+from repro.common.rng import make_rng
+from repro.common.units import GB, TB, pretty_time_ns
+from repro.core.countergen import years_to_overflow
+from repro.sim.runner import GC_VARIANTS, SC_VARIANTS, RunSpec, VARIANTS, \
+    make_system, run_cell
+from repro.workloads import ALL_PROFILES, PAPER_WORKLOADS
+
+FIGURES = {
+    "9": ("fig9_execution_time", GC_VARIANTS,
+          "execution time / WB-GC"),
+    "10": ("fig10_write_latency", GC_VARIANTS, "write latency / WB-GC"),
+    "11": ("fig11_read_latency", GC_VARIANTS, "read latency / WB-GC"),
+    "12": ("fig12_execution_time_sc", SC_VARIANTS,
+           "execution time / WB-SC"),
+    "13": ("fig13_write_traffic", GC_VARIANTS, "write traffic / WB-GC"),
+    "14": ("fig14_write_traffic_sc", SC_VARIANTS,
+           "write traffic / WB-SC"),
+    "15": ("fig15_energy", GC_VARIANTS, "energy / WB-GC"),
+    "16": ("fig16_energy_sc", SC_VARIANTS, "energy / WB-SC"),
+    "17": ("fig17_recovery_time", None, "recovery time (s)"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Steins (CLUSTER 2024) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one scheme x workload")
+    run.add_argument("variant", choices=sorted(VARIANTS))
+    run.add_argument("workload", choices=sorted(ALL_PROFILES))
+    run.add_argument("--accesses", type=int, default=20_000)
+    run.add_argument("--footprint", type=int, default=1 << 15)
+    run.add_argument("--seed", type=int, default=2024)
+
+    cmp_ = sub.add_parser("compare", help="all schemes on one workload")
+    cmp_.add_argument("workload", choices=sorted(ALL_PROFILES))
+    cmp_.add_argument("--accesses", type=int, default=20_000)
+    cmp_.add_argument("--footprint", type=int, default=1 << 15)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", choices=sorted(FIGURES, key=int))
+    fig.add_argument("--accesses", type=int, default=30_000)
+    fig.add_argument("--chart", action="store_true",
+                     help="render bar charts instead of a number table")
+
+    rec = sub.add_parser("recover", help="crash/recovery demo")
+    rec.add_argument("variant", choices=[v for v in sorted(VARIANTS)
+                                         if v != "wb-gc" and v != "wb-sc"])
+    rec.add_argument("--writes", type=int, default=2500)
+
+    sub.add_parser("storage", help="Sec. IV-E storage overhead")
+    sub.add_parser("overflow", help="Sec. III-B.2 counter lifetimes")
+    sub.add_parser("workloads", help="list workload profiles")
+    return parser
+
+
+def cmd_run(args) -> int:
+    spec = RunSpec(args.variant, args.workload, accesses=args.accesses,
+                   footprint_blocks=args.footprint, seed=args.seed)
+    result = run_cell(spec)
+    print(render_kv(f"{args.variant} x {args.workload}", {
+        "exec time": pretty_time_ns(result.exec_time_ns),
+        "data reads / writes": f"{result.data_reads} / "
+                               f"{result.data_writes}",
+        "avg read latency": f"{result.avg_read_latency_ns:.1f} ns",
+        "avg write latency": f"{result.avg_write_latency_ns:.1f} ns",
+        "NVM write traffic": f"{result.nvm_write_traffic} lines",
+        "energy": f"{result.energy_nj / 1e3:.1f} uJ",
+        "metadata cache hits": f"{result.metadata_cache_hit_rate:.1%}",
+    }))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    results = {v: run_cell(RunSpec(v, args.workload,
+                                   accesses=args.accesses,
+                                   footprint_blocks=args.footprint))
+               for v in VARIANTS}
+    base = results["wb-gc"]
+    rows = {metric: {v: results[v].normalized_to(base)[metric]
+                     for v in VARIANTS}
+            for metric in ("exec_time", "write_latency", "read_latency",
+                           "write_traffic", "energy")}
+    print(render_table(f"{args.workload}: normalized to WB-GC",
+                       list(VARIANTS), rows, mean_row=False))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    method, variants, label = FIGURES[args.number]
+    if args.number == "17":
+        rows = FigureHarness.fig17_recovery_time()
+        if args.chart:
+            print(render_series(f"Fig. 17: {label}", rows))
+        else:
+            print(render_table(f"Fig. 17: {label}",
+                               ["asit", "star", "steins-gc", "steins-sc"],
+                               rows, mean_row=False, fmt="{:.4f}"))
+        return 0
+    harness = FigureHarness(accesses=args.accesses,
+                            workloads=PAPER_WORKLOADS)
+    rows = getattr(harness, method)()
+    if args.chart:
+        print(render_grouped_bars(f"Fig. {args.number}: {label}",
+                                  list(variants), rows))
+    else:
+        print(render_table(f"Fig. {args.number}: {label}", list(variants),
+                           rows))
+    return 0
+
+
+def cmd_recover(args) -> int:
+    system = make_system(args.variant, small_config(
+        metadata_cache_bytes=8 * 1024))
+    rng = make_rng(17, "cli", args.variant)
+    for addr in rng.integers(0, 40_000, args.writes):
+        system.store(int(addr), flush=True)
+    dirty = system.controller.metacache.dirty_count()
+    system.crash()
+    report = system.recover()
+    checked = system.verify_all_persisted()
+    print(render_kv(f"{args.variant} crash recovery", {
+        "dirty nodes at crash": dirty,
+        "nodes recovered": report.nodes_recovered,
+        "NVM reads": report.nvm_reads,
+        "modeled recovery time": pretty_time_ns(report.time_ns),
+        "blocks re-verified": checked,
+    }))
+    return 0
+
+
+def cmd_storage(_args) -> int:
+    rows = {}
+    for b in all_storage_breakdowns():
+        key = f"{b.scheme}-{'sc' if b.counter_mode == 'split' else 'gc'}"
+        rows[key] = {
+            "height": float(b.tree_height),
+            "tree_GB": b.tree_bytes / (1 << 30),
+            "extra_nvm_KB": b.extra_nvm_bytes / 1024,
+            "extra_cache_KB": b.extra_cache_bytes / 1024,
+            "onchip_B": float(b.onchip_nv_bytes),
+        }
+    print(render_table("Sec. IV-E storage overhead (16 GB NVM)",
+                       ["height", "tree_GB", "extra_nvm_KB",
+                        "extra_cache_KB", "onchip_B"],
+                       rows, mean_row=False, fmt="{:.2f}"))
+    return 0
+
+
+def cmd_overflow(_args) -> int:
+    pairs = {e.scheme: f"{e.years:,.0f} years" for e in years_to_overflow()}
+    pairs["scue-rebuild 16GB"] = \
+        f"{scue_rebuild_estimate(16 * GB):.1f} s per recovery"
+    pairs["scue-rebuild 1TB"] = \
+        f"{scue_rebuild_estimate(1 * TB):.1f} s per recovery"
+    print(render_kv("Counter lifetimes (Sec. III-B.2) and SCUE scale",
+                    pairs))
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    pairs = {name: profile.description
+             + (" [persistent]" if profile.persistent else "")
+             for name, profile in sorted(ALL_PROFILES.items())}
+    print(render_kv("Workload profiles (paper Sec. IV)", pairs))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "figure": cmd_figure,
+        "recover": cmd_recover,
+        "storage": cmd_storage,
+        "overflow": cmd_overflow,
+        "workloads": cmd_workloads,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Shared constants, configuration, units, and low-level helpers."""
+from repro.common import constants
+from repro.common.config import (
+    CacheConfig,
+    CounterMode,
+    EnergyConfig,
+    HierarchyConfig,
+    NVMTimingConfig,
+    SecurityConfig,
+    SystemConfig,
+    UpdateScheme,
+    default_config,
+    small_config,
+)
+from repro.common.errors import (
+    ConfigError,
+    CounterOverflowError,
+    CrashedError,
+    IntegrityError,
+    LayoutError,
+    RecoveryError,
+    ReplayDetectedError,
+    ReproError,
+    TamperDetectedError,
+)
+
+__all__ = [
+    "CacheConfig",
+    "ConfigError",
+    "CounterMode",
+    "CounterOverflowError",
+    "CrashedError",
+    "EnergyConfig",
+    "HierarchyConfig",
+    "IntegrityError",
+    "LayoutError",
+    "NVMTimingConfig",
+    "RecoveryError",
+    "ReplayDetectedError",
+    "ReproError",
+    "SecurityConfig",
+    "SystemConfig",
+    "TamperDetectedError",
+    "UpdateScheme",
+    "constants",
+    "default_config",
+    "small_config",
+]

@@ -1,0 +1,59 @@
+"""Unit helpers: time (cycles <-> nanoseconds) and sizes.
+
+The paper's Table I uses a 2 GHz core clock and nanosecond NVM timings; the
+simulator accounts time in nanoseconds (floats) and converts announced
+cycle costs (e.g. the 40-cycle hash latency) through the configured clock.
+"""
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+TB: int = 1024 * GB
+
+NS_PER_S: float = 1e9
+
+
+def cycles_to_ns(cycles: float, clock_ghz: float) -> float:
+    """Convert a cycle count at ``clock_ghz`` GHz to nanoseconds."""
+    if clock_ghz <= 0:
+        raise ValueError(f"clock must be positive, got {clock_ghz}")
+    return cycles / clock_ghz
+
+
+def ns_to_cycles(ns: float, clock_ghz: float) -> float:
+    """Convert nanoseconds to cycles at ``clock_ghz`` GHz."""
+    if clock_ghz <= 0:
+        raise ValueError(f"clock must be positive, got {clock_ghz}")
+    return ns * clock_ghz
+
+
+def ns_to_seconds(ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / NS_PER_S
+
+
+def pretty_size(num_bytes: int) -> str:
+    """Render a byte count as a human-friendly string (e.g. ``256KB``)."""
+    if num_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {num_bytes}")
+    for unit, width in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if num_bytes >= width and num_bytes % width == 0:
+            return f"{num_bytes // width}{unit}"
+    for unit, width in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if num_bytes >= width:
+            return f"{num_bytes / width:.2f}{unit}"
+    return f"{num_bytes}B"
+
+
+def pretty_time_ns(ns: float) -> str:
+    """Render a nanosecond duration with an adaptive unit."""
+    if ns < 0:
+        raise ValueError(f"duration must be non-negative, got {ns}")
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f}us"
+    return f"{ns:.1f}ns"

@@ -1,0 +1,32 @@
+"""Steins: the paper's primary contribution.
+
+Counter generation (Sec. III-B), offset-based tracking (III-C), LInc
+trust bases (III-D), efficient metadata flushing with the NV parent
+buffer (III-E), and root-to-leaf recovery (III-G).
+"""
+from repro.core.controller import SteinsController
+from repro.core.countergen import (
+    OverflowEstimate,
+    general_parent_counter,
+    generated_parent_counter,
+    naive_split_parent,
+    years_to_overflow,
+)
+from repro.core.lincs import LIncRegister
+from repro.core.nvbuffer import BufferedUpdate, NVParentBuffer
+from repro.core.recovery import SteinsRecovery
+from repro.core.tracking import OffsetRecordTracker
+
+__all__ = [
+    "BufferedUpdate",
+    "LIncRegister",
+    "NVParentBuffer",
+    "OffsetRecordTracker",
+    "OverflowEstimate",
+    "SteinsController",
+    "SteinsRecovery",
+    "general_parent_counter",
+    "generated_parent_counter",
+    "naive_split_parent",
+    "years_to_overflow",
+]

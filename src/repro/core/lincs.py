@@ -1,0 +1,89 @@
+"""The LInc trust bases (paper Sec. III-D).
+
+``L_k Inc`` is the total increase of the cached counters of level-k
+nodes over their stale counterparts in NVM — equivalently, summed over
+*dirty* level-k nodes only, since clean nodes match NVM exactly.  All
+LIncs fit one 64-byte on-chip non-volatile register (8 bytes per level,
+up to 8 levels: enough for 16 GB with a 9-level SIT including the root).
+
+Runtime maintenance is two register additions per event (Sec. III-E):
+
+* a leaf counter bump of delta   ->  L_0 Inc += delta,
+* evicting a dirty level-k node whose generated counter rose by delta
+  over the parent's old counter ->  L_k Inc -= delta, L_{k+1} Inc += delta
+  (the two increments are equal because the old parent counter *is* the
+  gensum of the child's persisted stale version).
+
+The invariant ``L_k Inc == sum over dirty level-k nodes of
+(gensum(cached) - gensum(NVM))`` is re-derived from scratch by
+:meth:`LIncRegister.recompute_invariant` and asserted in tests.
+"""
+from __future__ import annotations
+
+from repro.common.constants import LINC_REGISTER_BYTES, MAX_LINC_LEVELS
+from repro.common.errors import ConfigError
+from repro.nvm.adr import NonVolatileRegister
+
+
+class LIncRegister:
+    """Per-level increment trust bases in a 64 B NV register."""
+
+    def __init__(self, num_levels: int) -> None:
+        if not 1 <= num_levels <= MAX_LINC_LEVELS:
+            raise ConfigError(
+                f"LInc register holds at most {MAX_LINC_LEVELS} levels, "
+                f"asked for {num_levels}")
+        self.num_levels = num_levels
+        self._reg = NonVolatileRegister(
+            "lincs", LINC_REGISTER_BYTES, initial=[0] * num_levels)
+
+    # ------------------------------------------------------------ query
+    def get(self, level: int) -> int:
+        self._check(level)
+        return self._reg.value[level]
+
+    def values(self) -> list[int]:
+        return list(self._reg.value)
+
+    # ----------------------------------------------------------- update
+    def add(self, level: int, delta: int) -> None:
+        """Register addition; negative deltas are the eviction decrement."""
+        self._check(level)
+        self._reg.value[level] += delta
+        if self._reg.value[level] < 0:
+            raise AssertionError(
+                f"L_{level}Inc went negative: counters are monotone, so "
+                "a negative total increment indicates a scheme bug")
+
+    def transfer(self, from_level: int, to_level: int | None,
+                 delta: int) -> None:
+        """Eviction bookkeeping: move ``delta`` from the evicted node's
+        level to its parent's level (``None`` when the parent is the
+        on-chip root, which needs no LInc)."""
+        self.add(from_level, -delta)
+        if to_level is not None:
+            self.add(to_level, delta)
+
+    def set_all(self, values: list[int]) -> None:
+        """Recovery: overwrite with the verified per-level sums."""
+        if len(values) != self.num_levels:
+            raise ConfigError(
+                f"expected {self.num_levels} values, got {len(values)}")
+        self._reg.value = list(values)
+
+    # ------------------------------------------------------- validation
+    def recompute_invariant(self, dirty_nodes, nvm_gensum) -> list[int]:
+        """From-scratch recomputation of every LInc.
+
+        ``dirty_nodes`` yields (level, node) for all dirty cached nodes;
+        ``nvm_gensum(level, index)`` returns the gensum of the persisted
+        stale version.  Used by tests to assert the register is exact.
+        """
+        sums = [0] * self.num_levels
+        for level, node in dirty_nodes:
+            sums[level] += node.gensum() - nvm_gensum(level, node.index)
+        return sums
+
+    def _check(self, level: int) -> None:
+        if not 0 <= level < self.num_levels:
+            raise ConfigError(f"level {level} out of range")

@@ -1,0 +1,110 @@
+"""The 128-byte non-volatile parent-counter buffer (paper Sec. III-E).
+
+When a dirty node is evicted and its parent is not cached, the other
+schemes must fetch the parent on the write critical path (iterative
+verified reads).  Steins instead parks ``(child id, generated counter)``
+in this small on-chip non-volatile buffer and completes the write; the
+buffered parent updates are applied lazily — before the next read
+operation, or when the buffer fills.  Because the buffer is
+non-volatile, a crash with pending entries is safe: recovery replays
+them into the LIncs and the recovery set (Sec. III-E, Fig. 8 step 5).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.constants import NV_BUFFER_ENTRIES
+from repro.common.errors import ConfigError
+from repro.nvm.adr import NonVolatileRegister
+
+
+@dataclass(frozen=True)
+class BufferedUpdate:
+    """A pending parent-counter update."""
+
+    child_level: int
+    child_index: int
+    generated_counter: int
+
+
+class NVParentBuffer:
+    """FIFO of pending parent updates in a non-volatile register."""
+
+    def __init__(self, capacity: int = NV_BUFFER_ENTRIES) -> None:
+        if capacity <= 0:
+            raise ConfigError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._reg = NonVolatileRegister(
+            "nv_parent_buffer", capacity * 16, initial=())
+
+    # ------------------------------------------------------------ queue
+    @property
+    def entries(self) -> tuple[BufferedUpdate, ...]:
+        return self._reg.value
+
+    def __len__(self) -> int:
+        return len(self._reg.value)
+
+    @property
+    def full(self) -> bool:
+        return len(self._reg.value) >= self.capacity
+
+    def append(self, update: BufferedUpdate) -> None:
+        if self.full:
+            raise ConfigError("NV buffer overflow: drain before appending")
+        self._reg.value = self._reg.value + (update,)
+
+    def drain(self) -> tuple[BufferedUpdate, ...]:
+        """Pop everything in FIFO order (applied atomically by caller)."""
+        entries = self._reg.value
+        self._reg.value = ()
+        return entries
+
+    def peek_first(self) -> BufferedUpdate | None:
+        """Oldest pending entry without removing it."""
+        return self._reg.value[0] if self._reg.value else None
+
+    def pop_first(self) -> BufferedUpdate:
+        """Remove and return the oldest entry.
+
+        The runtime drain applies entries one at a time and pops each
+        only after it is applied, so an entry stays visible to
+        ``latest_counter_for`` verification until the parent actually
+        carries its counter.
+        """
+        if not self._reg.value:
+            raise ConfigError("NV buffer is empty")
+        first = self._reg.value[0]
+        self._reg.value = self._reg.value[1:]
+        return first
+
+    def remove_superseded(self, level: int, index: int,
+                          generated: int) -> int:
+        """Drop pending entries of one child up to ``generated``.
+
+        When a parent update for the child is applied *directly* (the
+        parent happens to be cached), the transfer is computed against
+        the parent's actual stale slot, which subsumes every *older*
+        deferred entry — leaving those queued would regress the parent
+        counter when drained.  Newer entries (from later evictions still
+        pending) are kept.
+        """
+        kept = tuple(e for e in self._reg.value
+                     if not (e.child_level == level
+                             and e.child_index == index
+                             and e.generated_counter <= generated))
+        removed = len(self._reg.value) - len(kept)
+        self._reg.value = kept
+        return removed
+
+    def latest_counter_for(self, level: int, index: int) -> int | None:
+        """Newest pending generated counter for a child, if any.
+
+        Consulted during verification so a child sealed under a pending
+        (not yet applied) parent update still verifies correctly.
+        """
+        latest: int | None = None
+        for e in self._reg.value:
+            if e.child_level == level and e.child_index == index:
+                latest = e.generated_counter
+        return latest

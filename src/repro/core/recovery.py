@@ -1,0 +1,279 @@
+"""Steins' root-to-leaf recovery (paper Sec. III-G, Fig. 8).
+
+After a crash the metadata cache content is gone; NVM holds stale nodes.
+Recovery proceeds:
+
+1. Read the offset records from NVM to locate (possibly) dirty nodes.
+   Stale records that name clean nodes are harmless — their computed
+   increment is zero (Sec. III-H).
+2. Replay the NV parent buffer: each pending update marks its parent as
+   to-recover and adjusts the expected L_k Inc / L_{k+1} Inc exactly as
+   the runtime drain would have (Sec. III-E).
+3. For each level, top (root children) to leaves:
+   a. regenerate each dirty node's counters from its persisted children
+      (tree nodes via gensum; leaves via the counter echoes stored with
+      the covered data blocks),
+   b. verify every child's HMAC under the regenerated counter — Steins
+      seals nodes under their own gensum, so children self-verify;
+      tampering is caught here,
+   c. read the node's *stale* NVM copy and verify it against its parent
+      (already recovered, or the root register),
+   d. accumulate ``gensum(recovered) - gensum(stale)`` and compare the
+      level total against the (buffer-adjusted) stored L_k Inc — a
+      replayed child makes the computed total *smaller*, exposing the
+      replay (Sec. III-D).
+4. Re-install every recovered node into the metadata cache marked dirty
+   (so future flushes propagate normally), reset the record region, and
+   restore the LInc register to the verified totals.
+"""
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.baselines.report import RecoveryReport
+from repro.common.errors import (
+    RecoveryError,
+    ReplayDetectedError,
+    TamperDetectedError,
+)
+from repro.counters import GeneralCounterBlock, SplitCounterBlock
+from repro.crypto import cme
+from repro.integrity.node import SITNode, make_empty_node
+from repro.nvm.layout import Region
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import SteinsController
+
+
+class SteinsRecovery:
+    """One recovery run over a crashed :class:`SteinsController`."""
+
+    def __init__(self, controller: "SteinsController") -> None:
+        self.c = controller
+        self.g = controller.geometry
+        self.report = RecoveryReport("steins")
+        #: verified recovered nodes by offset (stand-in for the cache
+        #: until installation)
+        self._recovered: dict[int, SITNode] = {}
+        #: verified *stale* nodes read from NVM during the sweep
+        self._stale: dict[int, SITNode] = {}
+
+    # ------------------------------------------------------------- run
+    def run(self) -> RecoveryReport:
+        c, g = self.c, self.g
+        offsets, lines_read = c.tracker.read_all_offsets(c.device)
+        self.report.read(lines_read)
+        self.report.bump("record_lines", lines_read)
+
+        by_level: dict[int, set[int]] = {k: set() for k in range(g.num_levels)}
+        for offset in offsets:
+            level, _ = g.offset_to_node(offset)
+            by_level[level].add(offset)
+
+        expected = list(c.lincs.values())
+        pending_by_parent_level = self._plan_nv_buffer(by_level)
+
+
+        computed = [0] * g.num_levels
+        for level in range(g.top_level, -1, -1):
+            # Fig. 8 step 5: apply the pending parent updates whose parent
+            # lives at this level — its stale copy is verifiable now that
+            # every level above is recovered
+            self._replay_pending(pending_by_parent_level.get(level, []),
+                                 expected)
+            computed[level] = self._recover_level(level, by_level[level])
+            if computed[level] != expected[level]:
+                if computed[level] < expected[level]:
+                    raise ReplayDetectedError(
+                        f"L_{level}Inc mismatch: computed "
+                        f"{computed[level]} < stored {expected[level]} — "
+                        "replayed child nodes detected")
+                raise TamperDetectedError(
+                    f"L_{level}Inc mismatch: computed {computed[level]} > "
+                    f"stored {expected[level]}")
+
+        self._reinstall(expected)
+        return self.report
+
+    # ----------------------------------------------------- NV buffer
+    def _plan_nv_buffer(self, by_level: dict[int, set[int]]
+                        ) -> dict[int, list]:
+        """Fig. 8 step 5 planning: a buffered entry (child at level k,
+        generated counter) means the child was persisted but neither the
+        parent nor the LIncs were updated."""
+        c, g = self.c, self.g
+        # group by the *parent's* level so each batch is replayed exactly
+        # when that level is being recovered (FIFO order preserved);
+        # parents join the to-recover set (their regeneration from the
+        # persisted children picks up the new child state automatically)
+        plan: dict[int, list] = {}
+        for update in c.nv_buffer.drain():
+            parent = g.parent(update.child_level, update.child_index)
+            if parent is None:
+                # root parents are updated immediately at runtime and
+                # never buffered
+                raise RecoveryError("NV buffer holds a root-child update")
+            plan.setdefault(parent[0], []).append(update)
+            by_level[parent[0]].add(g.node_offset(*parent))
+        return plan
+
+    def _replay_pending(self, updates: list, expected: list[int]) -> None:
+        """Fold one parent-level's pending updates into the expected
+        LIncs: each transfer is the delta between *consecutive* generated
+        counters of the same child, starting from the verified stale
+        parent slot (several FIFO entries may exist per child)."""
+        g = self.g
+        effective: dict[tuple[int, int], int] = {}
+        for update in updates:
+            level = update.child_level
+            child = (level, update.child_index)
+            parent = g.parent(level, update.child_index)
+            slot = g.parent_slot(level, update.child_index)
+            if child not in effective:
+                stale_parent = self._read_stale(*parent)
+                effective[child] = stale_parent.counter(slot)
+            delta = update.generated_counter - effective[child]
+            if delta < 0:
+                raise TamperDetectedError(
+                    "NV buffer counter below the persisted parent "
+                    "counter: parent replayed")
+            effective[child] = update.generated_counter
+            expected[level] -= delta
+            expected[level + 1] += delta
+            self.report.bump("buffer_replays")
+
+    # --------------------------------------------------------- levels
+    def _recover_level(self, level: int, level_offsets: set[int]) -> int:
+        """Recover one level's nodes; returns the computed increment."""
+        total = 0
+        for offset in sorted(level_offsets):
+            _, index = self.g.offset_to_node(offset)
+            recovered = (self._rebuild_from_children(index)
+                         if level == 0
+                         else self._rebuild_from_tree(level, index))
+            stale = self._read_stale(level, index)
+            total += recovered.gensum() - stale.gensum()
+            self._recovered[offset] = recovered
+            self.report.nodes_recovered += 1
+        return total
+
+    def _rebuild_from_tree(self, level: int, index: int) -> SITNode:
+        """Regenerate an intermediate node: counter_i = gensum(child_i)."""
+        c, g = self.c, self.g
+        block = GeneralCounterBlock()
+        for child_level, child_index in g.children(level, index):
+            child_offset = g.node_offset(child_level, child_index)
+            snap = c.device.peek(Region.TREE, child_offset)
+            self.report.read()
+            if snap is None:
+                continue  # never persisted: counter stays 0
+            child = SITNode.from_snapshot(snap)
+            counter = child.gensum()
+            # children self-verify: Steins seals a node under its own
+            # generated counter (Sec. III-B) — tampering is caught here
+            self.report.hash()
+            if not child.hmac_matches(c.engine, counter):
+                raise TamperDetectedError(
+                    f"child ({child_level},{child_index}) failed HMAC "
+                    "verification under its regenerated counter")
+            block.set_counter(g.parent_slot(child_level, child_index),
+                              counter)
+        return SITNode(level, index, block)
+
+    def _rebuild_from_children(self, leaf_index: int) -> SITNode:
+        """Regenerate a leaf from the covered data blocks' counter echoes
+        (the major lives in the data HMAC entry, Sec. II-D), or via
+        Osiris trial decryption when that strategy is configured."""
+        c, g = self.c, self.g
+        if c._osiris:
+            from repro.core import osiris
+
+            stale = self._read_stale(0, leaf_index)
+            return osiris.rebuild_leaf(
+                c.engine, g, c.device, leaf_index, stale,
+                c.cfg.security.osiris_stop_loss, self.report)
+        if c.cfg.security.leaf_coverage == 64:
+            major = 0
+            minors = [0] * g.leaf_coverage
+            for addr in g.leaf_data_blocks(leaf_index):
+                value = c.device.peek(Region.DATA, addr)
+                self.report.read()
+                if value is None:
+                    continue
+                self._verify_data_block(addr, value)
+                echo = value[3]
+                minors[g.leaf_slot_for_block(addr)] = echo & 63
+                major = max(major, echo >> 6)
+            block: GeneralCounterBlock | SplitCounterBlock = \
+                SplitCounterBlock(major, minors, c._overflow_policy)
+        else:
+            block = GeneralCounterBlock()
+            for addr in g.leaf_data_blocks(leaf_index):
+                value = c.device.peek(Region.DATA, addr)
+                self.report.read()
+                if value is None:
+                    continue
+                self._verify_data_block(addr, value)
+                block.set_counter(g.leaf_slot_for_block(addr), value[3])
+        return SITNode(0, leaf_index, block)
+
+    def _verify_data_block(self, addr: int, value: tuple) -> None:
+        _, cipher, hmac, echo = value
+        plaintext = cme.decrypt_block(self.c.engine, addr, echo, cipher)
+        self.report.hash()
+        if hmac != cme.data_hmac(self.c.engine, addr, echo, plaintext):
+            raise TamperDetectedError(
+                f"data block {addr} failed HMAC verification during "
+                "leaf recovery")
+
+    # ---------------------------------------------------- stale reads
+    def _read_stale(self, level: int, index: int) -> SITNode:
+        """Read + verify a node's persisted (stale) copy (Fig. 8 steps
+        2/7): its parent's counter slot holds exactly the gensum of this
+        stale copy, and the parent is either already recovered, clean in
+        NVM (verified recursively), or the root register."""
+        offset = self.g.node_offset(level, index)
+        cached = self._stale.get(offset)
+        if cached is not None:
+            return cached
+        snap = self.c.device.peek(Region.TREE, offset)
+        self.report.read()
+        if snap is None:
+            node = make_empty_node(level, index, self.c._leaf_split,
+                                   self.c.engine, self.c._overflow_policy)
+        else:
+            node = SITNode.from_snapshot(snap)
+        parent_counter = self._stale_parent_counter(level, index)
+        self.report.hash()
+        if not node.hmac_matches(self.c.engine, parent_counter):
+            raise TamperDetectedError(
+                f"stale node ({level},{index}) failed verification "
+                f"against its parent counter {parent_counter}")
+        self._stale[offset] = node
+        return node
+
+    def _stale_parent_counter(self, level: int, index: int) -> int:
+        g = self.g
+        slot = g.parent_slot(level, index)
+        parent = g.parent(level, index)
+        if parent is None:
+            return self.c.root.counter(slot)
+        parent_offset = g.node_offset(*parent)
+        recovered = self._recovered.get(parent_offset)
+        if recovered is not None:
+            # the recovered parent's slot is gensum(stale child) exactly
+            return recovered.counter(slot)
+        return self._read_stale(*parent).counter(slot)
+
+    # -------------------------------------------------------- install
+    def _reinstall(self, verified_lincs: list[int]) -> None:
+        """Put every recovered node back in the metadata cache *dirty*
+        (Sec. III-G), reset the records, restore the LIncs."""
+        c = self.c
+        c.lincs.set_all(verified_lincs)
+        c.tracker.reset()
+        c._crashed = False
+        for offset, node in sorted(self._recovered.items(),
+                                   key=lambda e: -e[1].level):
+            c._force_install(offset, node)
+        self.report.bump("reinstalled", len(self._recovered))

@@ -1,0 +1,134 @@
+"""Offset-based dirty-node tracking (paper Sec. III-C).
+
+One 4-byte record per metadata-cache line stores the metadata-region
+*offset* of the node resident in that line, written when the node first
+turns dirty.  16 records share a 64 B record line; the record region in
+NVM therefore occupies ``cache_lines / 16`` lines (16 KB for the 256 KB
+cache of Table I).
+
+A small LRU cache of record lines (16 lines, Table I) lives in the
+memory controller's ADR domain: updates usually hit there and cost no
+NVM access; a miss reads the line from NVM and may write back the
+evicted line.  On a crash the ADR residual power flushes every cached
+dirty record line to NVM, so recovery always sees a complete record set.
+
+Records are *never* updated when a node goes dirty -> clean: recovering a
+clean node is harmless (its computed increment is zero, Sec. III-H), and
+skipping those updates is part of why Steins' tracking traffic stays low
+(Fig. 13).
+"""
+from __future__ import annotations
+
+from repro.common.constants import OFFSET_EMPTY, OFFSETS_PER_RECORD_LINE
+from repro.common.errors import ConfigError
+from repro.nvm.device import NVMDevice
+from repro.nvm.layout import Region
+
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sim.clock import MemClock
+
+#: a record line is persisted as a tuple of 16 offsets
+RecordLine = tuple[int, ...]
+
+_EMPTY_LINE: RecordLine = tuple([OFFSET_EMPTY] * OFFSETS_PER_RECORD_LINE)
+
+
+class OffsetRecordTracker:
+    """Record-line writer with the ADR-resident line cache."""
+
+    def __init__(self, num_cache_slots: int, cache_lines: int,
+                 device: NVMDevice) -> None:
+        if num_cache_slots <= 0 or cache_lines <= 0:
+            raise ConfigError("tracker sizes must be positive")
+        self.num_slots = num_cache_slots
+        self.num_record_lines = -(-num_cache_slots // OFFSETS_PER_RECORD_LINE)
+        self.capacity = cache_lines
+        self.device = device
+        # LRU-ordered {line_index: (mutable entries, dirty)}
+        self._cached: dict[int, list[int]] = {}
+        self._dirty: set[int] = set()
+        self.stats = {"record_updates": 0, "line_fills": 0,
+                      "line_writebacks": 0}
+
+    # ----------------------------------------------------------- update
+    def record(self, slot: int, offset: int, clock: "MemClock") -> None:
+        """Note that the node at ``offset`` occupies cache line ``slot``
+        and just turned dirty.  Timed through ``clock``."""
+        if not 0 <= slot < self.num_slots:
+            raise ConfigError(f"slot {slot} out of range")
+        line_idx, entry = divmod(slot, OFFSETS_PER_RECORD_LINE)
+        line = self._cached.get(line_idx)
+        if line is None:
+            line = self._fill(line_idx, clock)
+        else:
+            self._cached[line_idx] = self._cached.pop(line_idx)  # touch LRU
+        if line[entry] != offset:
+            line[entry] = offset
+            self._dirty.add(line_idx)
+        clock.sram_op()
+        self.stats["record_updates"] += 1
+
+    def _fill(self, line_idx: int, clock: "MemClock") -> list[int]:
+        """Miss in the ADR line cache: read from NVM, maybe evict.
+
+        The fill does not gate the data write it accompanies (ADR
+        guarantees the update becomes durable regardless), so the read
+        is issued off the critical path: it occupies the device and
+        costs energy/traffic but does not stall the writer (Sec. III-C).
+        """
+        if len(self._cached) >= self.capacity:
+            victim_idx = next(iter(self._cached))
+            victim = self._cached.pop(victim_idx)
+            if victim_idx in self._dirty:
+                self._dirty.discard(victim_idx)
+                clock.nvm_write(Region.RECORDS, victim_idx, tuple(victim))
+                self.stats["line_writebacks"] += 1
+        stored, _done = clock.nvm_read_overlapped(Region.RECORDS, line_idx)
+        line = list(stored) if stored is not None else list(_EMPTY_LINE)
+        self._cached[line_idx] = line
+        self.stats["line_fills"] += 1
+        return line
+
+    # ------------------------------------------------------------ crash
+    def flush_on_crash(self) -> None:
+        """ADR residual-power flush of dirty cached record lines.
+
+        Writes through the device directly (the system is powering off;
+        there is no simulated time to account)."""
+        for line_idx in sorted(self._dirty):
+            self.device.write(Region.RECORDS, line_idx,
+                              tuple(self._cached[line_idx]))
+        self._dirty.clear()
+        self._cached.clear()
+
+    def reset(self) -> None:
+        """Post-recovery reinitialization: clear the record region and
+        the ADR cache (recovered nodes are re-recorded as they are
+        re-installed dirty)."""
+        for line_idx in range(self.num_record_lines):
+            if self.device.peek(Region.RECORDS, line_idx) is not None:
+                self.device.poke(Region.RECORDS, line_idx, None)
+        self._cached.clear()
+        self._dirty.clear()
+
+    # --------------------------------------------------------- recovery
+    def read_all_offsets(self, device: NVMDevice) -> tuple[set[int], int]:
+        """Recovery scan: every recorded offset, deduplicated.
+
+        Returns ``(offsets, lines_read)``; the caller charges the reads
+        to its recovery report.  Reads bypass the (cleared) ADR cache.
+        """
+        offsets: set[int] = set()
+        lines_read = 0
+        for line_idx in range(self.num_record_lines):
+            stored = device.peek(Region.RECORDS, line_idx)
+            lines_read += 1
+            if stored is None:
+                continue
+            for offset in stored:
+                if offset != OFFSET_EMPTY:
+                    offsets.add(offset)
+        return offsets, lines_read

@@ -1,0 +1,25 @@
+"""Counter-block organisations: general (8x56-bit) and split (major+minors)."""
+from repro.counters.base import CounterBlock, IncrementResult
+from repro.counters.general import GeneralCounterBlock
+from repro.counters.split import OverflowPolicy, SplitCounterBlock
+
+
+def block_from_snapshot(snap: tuple) -> "GeneralCounterBlock | SplitCounterBlock":
+    """Rehydrate either block kind from its persisted snapshot."""
+    if not snap or not isinstance(snap, tuple):
+        raise ValueError(f"not a counter-block snapshot: {snap!r}")
+    if snap[0] == "general":
+        return GeneralCounterBlock.from_snapshot(snap)
+    if snap[0] == "split":
+        return SplitCounterBlock.from_snapshot(snap)
+    raise ValueError(f"unknown counter-block kind {snap[0]!r}")
+
+
+__all__ = [
+    "CounterBlock",
+    "GeneralCounterBlock",
+    "IncrementResult",
+    "OverflowPolicy",
+    "SplitCounterBlock",
+    "block_from_snapshot",
+]

@@ -1,0 +1,103 @@
+"""The classic CME split counter block (paper Fig. 1, Sec. II-B).
+
+Outside the SIT, counter-mode encryption stores its counters in plain
+64-byte blocks protected by a Bonsai Merkle Tree: one 64-bit major
+counter and sixty-four **7-bit** minor counters (no embedded HMAC — the
+BMT hashes the whole block).  The SIT leaf variant used by Steins-SC
+narrows the minors to 6 bits to make room for the in-node HMAC
+(Sec. II-D); this class models the original layout for the background
+substrate and the BMT comparison path.
+"""
+from __future__ import annotations
+
+from repro.common import constants as C
+from repro.common.bitfield import pack_fields, unpack_fields
+from repro.common.errors import CounterOverflowError
+from repro.counters.base import IncrementResult
+
+MINOR_BITS = C.CME_MINOR_COUNTER_BITS          # 7
+MINORS = 64
+MINOR_MAX = (1 << MINOR_BITS) - 1              # 127
+_MAJOR_MAX = (1 << C.MAJOR_COUNTER_BITS) - 1
+_WIDTHS = [C.MAJOR_COUNTER_BITS] + [MINOR_BITS] * MINORS
+
+# 64 + 64*7 == 512 bits: the CME block exactly fills a line (no HMAC).
+assert C.MAJOR_COUNTER_BITS + MINORS * MINOR_BITS == C.CACHE_LINE_BITS
+
+
+class CMESplitCounterBlock:
+    """Mutable working copy of a Fig.-1 CME split counter block."""
+
+    __slots__ = ("major", "minors")
+
+    coverage = MINORS
+
+    def __init__(self, major: int = 0,
+                 minors: list[int] | None = None) -> None:
+        if minors is None:
+            minors = [0] * MINORS
+        if len(minors) != MINORS:
+            raise ValueError(f"expected {MINORS} minors, got {len(minors)}")
+        if not 0 <= major <= _MAJOR_MAX:
+            raise CounterOverflowError("major counter exceeds 64 bits")
+        for m in minors:
+            if not 0 <= m <= MINOR_MAX:
+                raise CounterOverflowError(f"minor {m} exceeds 7 bits")
+        self.major = major
+        self.minors = list(minors)
+
+    # ---------------------------------------------------------- queries
+    def counter(self, slot: int) -> int:
+        """Encryption counter: major and minor used in conjunction."""
+        return (self.major << MINOR_BITS) | self.minors[slot]
+
+    def gensum(self) -> int:
+        """Total-writes view (used only for comparisons/tests — the CME
+        block has no generated-parent semantics)."""
+        return self.major * (1 << MINOR_BITS) + sum(self.minors)
+
+    # --------------------------------------------------------- mutation
+    def increment(self, slot: int) -> IncrementResult:
+        """One write: bump the minor; on overflow reset all minors and
+        advance the major (all covered blocks must be re-encrypted)."""
+        before = self.gensum()
+        if self.minors[slot] < MINOR_MAX:
+            self.minors[slot] += 1
+            return IncrementResult(gensum_delta=self.gensum() - before)
+        if self.major >= _MAJOR_MAX:
+            # "hard to overflow in the lifespan of NVM" (Sec. II-B); a
+            # real system would rotate the key and re-encrypt
+            raise CounterOverflowError("64-bit major counter overflow")
+        self.major += 1
+        self.minors = [0] * MINORS
+        return IncrementResult(gensum_delta=self.gensum() - before,
+                               minor_overflow=True)
+
+    # ------------------------------------------------------ persistence
+    def snapshot(self) -> tuple:
+        return ("cme", self.major, tuple(self.minors))
+
+    @classmethod
+    def from_snapshot(cls, snap: tuple) -> "CMESplitCounterBlock":
+        kind, major, minors = snap
+        if kind != "cme":
+            raise ValueError(f"not a CME-block snapshot: {kind!r}")
+        return cls(major, list(minors))
+
+    def copy(self) -> "CMESplitCounterBlock":
+        return CMESplitCounterBlock(self.major, self.minors)
+
+    # -------------------------------------------------- 64 B round-trip
+    def to_packed(self) -> int:
+        """The full 64-byte line as one int (BMT leaf payload)."""
+        return pack_fields(_WIDTHS, [self.major, *self.minors])
+
+    @classmethod
+    def from_packed(cls, packed: int) -> "CMESplitCounterBlock":
+        fields = unpack_fields(_WIDTHS, packed)
+        return cls(fields[0], fields[1:])
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, CMESplitCounterBlock)
+                and self.major == other.major
+                and self.minors == other.minors)

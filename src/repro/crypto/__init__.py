@@ -1,0 +1,13 @@
+"""Cryptographic primitives: keyed hash engines and counter-mode encryption."""
+from repro.crypto.cme import data_hmac, decrypt_block, encrypt_block
+from repro.crypto.engine import Blake2Engine, FastEngine, HashEngine, make_engine
+
+__all__ = [
+    "Blake2Engine",
+    "FastEngine",
+    "HashEngine",
+    "data_hmac",
+    "decrypt_block",
+    "encrypt_block",
+    "make_engine",
+]

@@ -1,0 +1,21 @@
+"""Integrity structures: tree geometry, SIT nodes/root, metadata cache, BMT."""
+from repro.integrity.bmt import BMTUpdateCost, BonsaiMerkleTree
+from repro.integrity.geometry import NodeId, TreeGeometry, geometry_for
+from repro.integrity.metacache import MetadataCache
+from repro.integrity.node import NodeSnapshot, SITNode, make_empty_node
+from repro.integrity.sit import SITRoot, verify_against_root, verify_node
+
+__all__ = [
+    "BMTUpdateCost",
+    "BonsaiMerkleTree",
+    "MetadataCache",
+    "NodeId",
+    "NodeSnapshot",
+    "SITNode",
+    "SITRoot",
+    "TreeGeometry",
+    "geometry_for",
+    "make_empty_node",
+    "verify_against_root",
+    "verify_node",
+]

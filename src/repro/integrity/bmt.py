@@ -1,0 +1,156 @@
+"""Bonsai Merkle Tree — the background comparison point (Sec. II-C).
+
+BMT parent nodes store the HMACs of their children, so a leaf update must
+recompute every hash on the branch *sequentially* (each parent hash takes
+its child's new hash as input), whereas SIT updates different levels in
+parallel.  This module provides a functional BMT plus per-update serial
+hash-chain accounting, used by the SIT-vs-BMT ablation benchmark.
+
+Untouched subtrees are represented by the sentinel hash ``0`` instead of
+being materialized, so arbitrarily large address spaces stay cheap; a
+real implementation would use the deterministic all-zero-block hash, and
+the distinction is irrelevant to both the correctness tests and the
+update-cost ablation.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import TamperDetectedError
+from repro.crypto.engine import HashEngine
+from repro.integrity.geometry import TreeGeometry
+from repro.nvm.adr import NonVolatileRegister
+
+_EMPTY = 0  #: sentinel hash of a never-touched subtree
+
+
+@dataclass
+class BMTUpdateCost:
+    """Cost of one leaf update."""
+
+    serial_hashes: int   #: hashes on the sequential critical path
+    nodes_touched: int   #: tree nodes read-modified-written
+
+
+class BonsaiMerkleTree:
+    """Functional in-memory BMT over counter-block leaves.
+
+    Exists for correctness tests and the SIT-vs-BMT update-cost ablation;
+    the timed system simulation uses the SIT, as the paper does.
+    """
+
+    def __init__(self, geometry: TreeGeometry, engine: HashEngine) -> None:
+        self.geometry = geometry
+        self.engine = engine
+        #: leaves: (0, index) -> payload int;
+        #: intermediates: (level, index) -> tuple of child hashes
+        self._nodes: dict[tuple[int, int], object] = {}
+        top_size = geometry.level_sizes[geometry.top_level]
+        self._top_hashes: list[int] = [_EMPTY] * top_size
+        self._root = NonVolatileRegister("bmt_root", 8, initial=_EMPTY)
+
+    # ---------------------------------------------------------- hashing
+    def _leaf_hash(self, index: int, payload: int) -> int:
+        return self.engine.digest64(0, index, payload)
+
+    def _node_hash(self, level: int, index: int,
+                   child_hashes: tuple[int, ...]) -> int:
+        return self.engine.digest64(level, index, *child_hashes)
+
+    def _root_hash(self) -> int:
+        return self.engine.digest64(self.geometry.top_level + 1,
+                                    *self._top_hashes)
+
+    def _child_hash(self, level: int, index: int) -> int:
+        """Current hash of node (level, index); 0 when never touched."""
+        node = self._nodes.get((level, index))
+        if node is None:
+            return _EMPTY
+        if level == 0:
+            return self._leaf_hash(index, node)  # type: ignore[arg-type]
+        return self._node_hash(level, index, node)  # type: ignore[arg-type]
+
+    def _materialize(self, level: int, index: int) -> tuple[int, ...]:
+        node = self._nodes.get((level, index))
+        if node is not None:
+            return node  # type: ignore[return-value]
+        lo = index * self.geometry.arity
+        hi = min(lo + self.geometry.arity,
+                 self.geometry.level_sizes[level - 1])
+        hashes = tuple(self._child_hash(level - 1, i) for i in range(lo, hi))
+        self._nodes[(level, index)] = hashes
+        return hashes
+
+    # ----------------------------------------------------------- update
+    def update_leaf(self, leaf_index: int, payload: int) -> BMTUpdateCost:
+        """Write a leaf and propagate hashes sequentially to the root.
+
+        Returns the serial hash-chain cost — the overhead SIT's
+        independently-updatable counters avoid (Sec. II-C).
+        """
+        g = self.geometry
+        g.check_node(0, leaf_index)
+        self._nodes[(0, leaf_index)] = payload
+        child_hash = self._leaf_hash(leaf_index, payload)
+        serial, touched = 1, 1
+        level, index = 0, leaf_index
+        while level < g.top_level:
+            parent_level = level + 1
+            parent_index = index // g.arity
+            node = list(self._materialize(parent_level, parent_index))
+            node[index % g.arity] = child_hash
+            self._nodes[(parent_level, parent_index)] = tuple(node)
+            child_hash = self._node_hash(parent_level, parent_index,
+                                         tuple(node))
+            serial += 1
+            touched += 1
+            level, index = parent_level, parent_index
+        self._top_hashes[index] = child_hash
+        self._root.value = self._root_hash()
+        serial += 1  # the root combine
+        return BMTUpdateCost(serial_hashes=serial, nodes_touched=touched)
+
+    # ----------------------------------------------------------- verify
+    def verify_leaf(self, leaf_index: int) -> None:
+        """Recompute the leaf's branch and compare against stored hashes
+        and the on-chip root register."""
+        g = self.geometry
+        payload = self._nodes.get((0, leaf_index))
+        child_hash = (self._leaf_hash(leaf_index, payload)  # type: ignore[arg-type]
+                      if payload is not None else _EMPTY)
+        level, index = 0, leaf_index
+        while level < g.top_level:
+            parent_level = level + 1
+            parent_index = index // g.arity
+            parent = self._nodes.get((parent_level, parent_index))
+            if parent is None:
+                if child_hash != _EMPTY:
+                    raise TamperDetectedError(
+                        f"BMT: materialized child under empty parent at "
+                        f"level {parent_level}")
+                return  # fully untouched branch: nothing to check
+            slot = index % g.arity
+            if parent[slot] != child_hash:  # type: ignore[index]
+                raise TamperDetectedError(
+                    f"BMT branch mismatch at level {parent_level}, "
+                    f"index {parent_index}, slot {slot}")
+            child_hash = self._node_hash(parent_level, parent_index,
+                                         parent)  # type: ignore[arg-type]
+            level, index = parent_level, parent_index
+        if self._top_hashes[index] != child_hash:
+            raise TamperDetectedError("BMT top-level hash mismatch")
+        if self._root.value != self._root_hash():
+            raise TamperDetectedError("BMT root mismatch")
+
+    # ------------------------------------------------------------ misc
+    def leaf_payload(self, leaf_index: int) -> int:
+        payload = self._nodes.get((0, leaf_index), 0)
+        return payload  # type: ignore[return-value]
+
+    def tamper_leaf(self, leaf_index: int, payload: int) -> None:
+        """Attack primitive: modify a leaf without updating hashes."""
+        self._nodes[(0, leaf_index)] = payload
+
+    @property
+    def root_hash(self) -> int:
+        return self._root.value

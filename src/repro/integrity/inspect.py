@@ -1,0 +1,110 @@
+"""Human-readable inspection of the integrity-tree state.
+
+Debugging secure-memory protocols means staring at counters spread over
+a cache, an NVM image, a buffer, and a register file.  These helpers
+collapse that into annotated text: where each node's authoritative copy
+lives, what its counters are, and whether it verifies right now.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import SecureMemoryController
+from repro.integrity.node import SITNode
+from repro.nvm.layout import Region
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """One node's full state across all storage locations."""
+
+    level: int
+    index: int
+    offset: int
+    cached: bool
+    dirty: bool
+    cached_gensum: int | None
+    persisted_gensum: int | None
+    pending_counter: int | None
+    verifies: bool
+
+    @property
+    def location(self) -> str:
+        if self.cached:
+            return "cache(dirty)" if self.dirty else "cache(clean)"
+        if self.persisted_gensum is not None:
+            return "nvm"
+        return "empty"
+
+
+def view_node(controller: SecureMemoryController, level: int,
+              index: int) -> NodeView:
+    """Collect one node's state without perturbing the system."""
+    g = controller.geometry
+    offset = g.node_offset(level, index)
+    cached = controller.metacache.peek(offset)
+    snap = controller.device.peek(Region.TREE, offset)
+    persisted = SITNode.from_snapshot(snap) if snap is not None else None
+    pending = None
+    buffer = getattr(controller, "nv_buffer", None)
+    if buffer is not None:
+        pending = buffer.latest_counter_for(level, index)
+
+    node = cached if cached is not None else persisted
+    verifies = True
+    if node is not None and cached is None:
+        from repro.analysis.consistency import _parent_view
+        verifies = node.hmac_matches(
+            controller.engine, _parent_view(controller, level, index))
+    return NodeView(
+        level=level, index=index, offset=offset,
+        cached=cached is not None,
+        dirty=controller.metacache.is_dirty(offset),
+        cached_gensum=cached.gensum() if cached is not None else None,
+        persisted_gensum=(persisted.gensum()
+                          if persisted is not None else None),
+        pending_counter=pending,
+        verifies=verifies,
+    )
+
+
+def render_branch(controller: SecureMemoryController,
+                  block_addr: int) -> str:
+    """Render the whole branch covering a data block, root-first."""
+    g = controller.geometry
+    lines = [f"branch of data block {block_addr} "
+             f"(leaf {g.leaf_for_block(block_addr)}, "
+             f"slot {g.leaf_slot_for_block(block_addr)})"]
+    top = g.branch(block_addr)[-1]
+    root_slot = g.parent_slot(*top)
+    lines.append(f"  root[{root_slot}] = "
+                 f"{controller.root.counter(root_slot)} (on-chip NV)")
+    for level, index in reversed(g.branch(block_addr)):
+        v = view_node(controller, level, index)
+        gensums = []
+        if v.cached_gensum is not None:
+            gensums.append(f"cached={v.cached_gensum}")
+        if v.persisted_gensum is not None:
+            gensums.append(f"nvm={v.persisted_gensum}")
+        if v.pending_counter is not None:
+            gensums.append(f"pending={v.pending_counter}")
+        state = ", ".join(gensums) if gensums else "all-zero"
+        flag = "" if v.verifies else "  !! DOES NOT VERIFY"
+        lines.append(f"  L{level} idx {index:<8d} [{v.location:12s}] "
+                     f"{state}{flag}")
+    return "\n".join(lines)
+
+
+def tree_summary(controller: SecureMemoryController) -> dict[str, int]:
+    """Aggregate occupancy statistics of the whole tree state."""
+    per_level_persisted = [0] * controller.geometry.num_levels
+    for offset, _ in controller.device.populated(Region.TREE):
+        level, _idx = controller.geometry.offset_to_node(offset)
+        per_level_persisted[level] += 1
+    return {
+        "cached_nodes": len(controller.metacache),
+        "dirty_nodes": controller.metacache.dirty_count(),
+        "persisted_nodes": sum(per_level_persisted),
+        **{f"persisted_level_{lvl}": n
+           for lvl, n in enumerate(per_level_persisted) if n},
+    }

@@ -1,0 +1,107 @@
+"""SIT node: one 64-byte line holding a counter block plus a 64-bit HMAC.
+
+The HMAC binds (counters, node identity, the corresponding counter in the
+parent node) under the secret key (Sec. II-C, Fig. 3).  Intermediate
+nodes always use the general 8x56-bit counter layout; leaf nodes use
+either layout depending on the -GC / -SC variant.
+"""
+from __future__ import annotations
+
+from repro.counters import (
+    GeneralCounterBlock,
+    OverflowPolicy,
+    SplitCounterBlock,
+    block_from_snapshot,
+)
+from repro.crypto.engine import HashEngine
+
+NodeSnapshot = tuple  # ("sitnode", level, index, block_snapshot, hmac)
+
+
+class SITNode:
+    """Mutable working copy of a SIT node (as held in the metadata cache).
+
+    NVM persists immutable :data:`NodeSnapshot` tuples; :meth:`snapshot` /
+    :meth:`from_snapshot` convert between the two.  Keeping cached nodes
+    mutable and persisted nodes immutable gives exact crash semantics: a
+    crash simply drops the mutable copies.
+    """
+
+    __slots__ = ("level", "index", "block", "hmac")
+
+    def __init__(self, level: int, index: int,
+                 block: GeneralCounterBlock | SplitCounterBlock,
+                 hmac: int = 0) -> None:
+        self.level = level
+        self.index = index
+        self.block = block
+        self.hmac = hmac
+
+    # ------------------------------------------------------------ hmac
+    def compute_hmac(self, engine: HashEngine, parent_counter: int) -> int:
+        """HMAC over (counter block, node address, parent counter)."""
+        return engine.digest64(
+            self.level, self.index, self.block.to_packed(), parent_counter)
+
+    def seal(self, engine: HashEngine, parent_counter: int) -> None:
+        """Recompute and store the HMAC (done before persisting)."""
+        self.hmac = self.compute_hmac(engine, parent_counter)
+
+    def hmac_matches(self, engine: HashEngine, parent_counter: int) -> bool:
+        return self.hmac == self.compute_hmac(engine, parent_counter)
+
+    # ------------------------------------------------------- delegation
+    def counter(self, slot: int) -> int:
+        return self.block.counter(slot)
+
+    def gensum(self) -> int:
+        return self.block.gensum()
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    # ------------------------------------------------------ persistence
+    def snapshot(self) -> NodeSnapshot:
+        return ("sitnode", self.level, self.index,
+                self.block.snapshot(), self.hmac)
+
+    @classmethod
+    def from_snapshot(cls, snap: NodeSnapshot) -> "SITNode":
+        # STAR appends a parent-counter echo as a sixth element; the node
+        # content proper is always the first five fields.
+        kind, level, index, block_snap, hmac = snap[:5]
+        if kind != "sitnode":
+            raise ValueError(f"not a SIT node snapshot: {kind!r}")
+        return cls(level, index, block_from_snapshot(block_snap), hmac)
+
+    @staticmethod
+    def snapshot_echo(snap: NodeSnapshot) -> int | None:
+        """STAR's embedded parent-counter echo, if present."""
+        return snap[5] if len(snap) > 5 else None
+
+    def copy(self) -> "SITNode":
+        return SITNode(self.level, self.index, self.block.copy(), self.hmac)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SITNode(level={self.level}, index={self.index}, "
+                f"gensum={self.gensum()}, hmac={self.hmac:#018x})")
+
+
+def make_empty_node(level: int, index: int, leaf_split: bool,
+                    engine: HashEngine,
+                    policy: OverflowPolicy = OverflowPolicy.SKIP) -> SITNode:
+    """Canonical all-zero node, sealed against a zero parent counter.
+
+    Untouched regions of the tree are never materialized in NVM; fetching
+    one yields this deterministic node, so the empty tree verifies
+    without storing terabytes of zeros.
+    """
+    if level == 0 and leaf_split:
+        block: GeneralCounterBlock | SplitCounterBlock = \
+            SplitCounterBlock(policy=policy)
+    else:
+        block = GeneralCounterBlock()
+    node = SITNode(level, index, block)
+    node.seal(engine, parent_counter=0)
+    return node

@@ -1,0 +1,18 @@
+"""CPU-side memory structures: generic caches and the L1/L2/L3 hierarchy."""
+from repro.mem.cache import CacheStats, Eviction, SetAssocCache
+from repro.mem.hierarchy import (
+    CacheHierarchy,
+    HierarchyResult,
+    MemOp,
+    MemoryRequest,
+)
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheStats",
+    "Eviction",
+    "HierarchyResult",
+    "MemOp",
+    "MemoryRequest",
+    "SetAssocCache",
+]

@@ -1,0 +1,135 @@
+"""Functional NVM device model.
+
+The device is a persistent object store at 64-byte-line granularity: a
+mapping from (region, line-index) to an *immutable* value (ints, tuples,
+or frozen snapshots).  Contents survive :meth:`crash` — that is the whole
+point of NVM — while every volatile structure in the system (caches, the
+metadata cache, in-flight state) is dropped by the crash manager.
+
+Timing and energy are accounted by the simulation clock, not here; the
+device only counts accesses per region so that write-traffic figures
+(Fig. 13/14) can be computed exactly.
+"""
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.common.errors import LayoutError
+from repro.nvm.layout import MemoryLayout, Region
+
+
+@dataclass
+class DeviceStats:
+    """Access counters, split by region and direction."""
+
+    reads: Counter = field(default_factory=Counter)
+    writes: Counter = field(default_factory=Counter)
+
+    @property
+    def total_reads(self) -> int:
+        return sum(self.reads.values())
+
+    @property
+    def total_writes(self) -> int:
+        return sum(self.writes.values())
+
+    def snapshot(self) -> dict[str, int]:
+        """Flat dict view for reports."""
+        out: dict[str, int] = {}
+        for region, n in sorted(self.reads.items(), key=lambda kv: kv[0].value):
+            out[f"read_{region.value}"] = n
+        for region, n in sorted(self.writes.items(), key=lambda kv: kv[0].value):
+            out[f"write_{region.value}"] = n
+        out["total_reads"] = self.total_reads
+        out["total_writes"] = self.total_writes
+        return out
+
+
+class NVMDevice:
+    """Persistent line-granular object store with access statistics."""
+
+    def __init__(self, layout: MemoryLayout) -> None:
+        self.layout = layout
+        self._store: dict[tuple[Region, int], Any] = {}
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------ access
+    def read(self, region: Region, index: int, default: Any = None) -> Any:
+        """Read one line; counts as one NVM read."""
+        self.layout.check(region, index)
+        self.stats.reads[region] += 1
+        return self._store.get((region, index), default)
+
+    def write(self, region: Region, index: int, value: Any) -> None:
+        """Write one line; counts as one NVM write.
+
+        Values must be immutable (int / tuple / frozen snapshot): callers
+        that hold mutable working copies must snapshot before persisting,
+        which is what makes crash semantics exact.
+        """
+        self.layout.check(region, index)
+        if isinstance(value, (list, dict, set, bytearray)):
+            raise TypeError(
+                f"NVM stores immutable values only, got {type(value).__name__}")
+        self.stats.writes[region] += 1
+        self._store[(region, index)] = value
+
+    # -------------------------------------------------- attack / inspect
+    def peek(self, region: Region, index: int, default: Any = None) -> Any:
+        """Read without statistics — used by attack injectors and tests."""
+        self.layout.check(region, index)
+        return self._store.get((region, index), default)
+
+    def poke(self, region: Region, index: int, value: Any) -> None:
+        """Write without statistics — attack injection / test setup only."""
+        self.layout.check(region, index)
+        self._store[(region, index)] = value
+
+    def populated(self, region: Region) -> Iterator[tuple[int, Any]]:
+        """Iterate (index, value) pairs actually present in ``region``."""
+        for (reg, idx), value in self._store.items():
+            if reg is region:
+                yield idx, value
+
+    def populated_count(self, region: Region) -> int:
+        return sum(1 for _ in self.populated(region))
+
+    # ------------------------------------------------------------- crash
+    def crash(self) -> None:
+        """A power failure: NVM content persists; only stats of the crashed
+        epoch are kept (they are observational, not architectural)."""
+        # Nothing to do: the store *is* the persistent medium.  The method
+        # exists so the crash manager can assert it touched every device.
+
+    def clone_store(self) -> dict[tuple[Region, int], Any]:
+        """Deep-enough copy of the store for golden-state comparisons.
+
+        Values are immutable by construction, so a shallow dict copy is an
+        exact snapshot.
+        """
+        return dict(self._store)
+
+    def restore_store(self, snapshot: dict[tuple[Region, int], Any]) -> None:
+        """Restore a snapshot taken with :meth:`clone_store` (tests)."""
+        self._store = dict(snapshot)
+
+    def reset_stats(self) -> None:
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------ sizing
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def occupancy_bytes(self) -> int:
+        """Populated lines x 64 B (lazy materialization means untouched
+        lines occupy nothing in the model)."""
+        return len(self._store) * 64
+
+    def validate_index(self, region: Region, index: int) -> None:
+        """Public range check used by controllers before issuing access."""
+        try:
+            self.layout.check(region, index)
+        except LayoutError:
+            raise

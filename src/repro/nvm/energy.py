@@ -1,0 +1,75 @@
+"""Energy accounting (Fig. 15/16).
+
+Every scheme charges the same per-operation costs; schemes differ only in
+*how many* of each operation they perform (extra shadow writes for ASIT,
+extra hashes for cache-trees, bitmap traffic for STAR, ...), which is
+exactly how the paper attributes the energy differences.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import EnergyConfig
+
+
+@dataclass
+class EnergyBreakdown:
+    """Operation counts; joules are derived lazily from the config."""
+
+    nvm_reads: int = 0
+    nvm_writes: int = 0
+    hashes: int = 0
+    aes_ops: int = 0
+    alu_ops: int = 0
+    sram_accesses: int = 0
+
+    def total_nj(self, cfg: EnergyConfig) -> float:
+        return (self.nvm_reads * cfg.nvm_read_nj
+                + self.nvm_writes * cfg.nvm_write_nj
+                + self.hashes * cfg.hash_nj
+                + self.aes_ops * cfg.aes_nj
+                + self.alu_ops * cfg.alu_nj
+                + self.sram_accesses * cfg.sram_access_nj)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "nvm_reads": self.nvm_reads,
+            "nvm_writes": self.nvm_writes,
+            "hashes": self.hashes,
+            "aes_ops": self.aes_ops,
+            "alu_ops": self.alu_ops,
+            "sram_accesses": self.sram_accesses,
+        }
+
+
+class EnergyMeter:
+    """Mutable accumulator the controllers charge operations to."""
+
+    def __init__(self, cfg: EnergyConfig) -> None:
+        self.cfg = cfg
+        self.breakdown = EnergyBreakdown()
+
+    def nvm_read(self, n: int = 1) -> None:
+        self.breakdown.nvm_reads += n
+
+    def nvm_write(self, n: int = 1) -> None:
+        self.breakdown.nvm_writes += n
+
+    def hash(self, n: int = 1) -> None:
+        self.breakdown.hashes += n
+
+    def aes(self, n: int = 1) -> None:
+        self.breakdown.aes_ops += n
+
+    def alu(self, n: int = 1) -> None:
+        self.breakdown.alu_ops += n
+
+    def sram(self, n: int = 1) -> None:
+        self.breakdown.sram_accesses += n
+
+    @property
+    def total_nj(self) -> float:
+        return self.breakdown.total_nj(self.cfg)
+
+    def reset(self) -> None:
+        self.breakdown = EnergyBreakdown()

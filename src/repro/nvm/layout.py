@@ -1,0 +1,115 @@
+"""NVM address-space layout.
+
+The device is organised into named regions.  Object granularity is one
+64-byte line; within a region, lines are addressed by index.  Security
+metadata (tree nodes) live in the *metadata region*, whose limited size is
+what lets Steins use 4-byte offsets instead of 8-byte addresses for
+dirty-node tracking (Sec. III-C).
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.constants import CACHE_LINE_BYTES, OFFSETS_PER_RECORD_LINE
+from repro.common.errors import LayoutError
+
+
+class Region(enum.Enum):
+    """Named NVM regions."""
+
+    DATA = "data"          #: user data blocks (ciphertext)
+    DATA_MAC = "data_mac"  #: per-data-block HMAC entries (+ counter echo)
+    TREE = "tree"          #: SIT/BMT nodes — the "metadata region"
+    RECORDS = "records"    #: Steins offset record lines
+    SHADOW = "shadow"      #: ASIT shadow table
+    BITMAP = "bitmap"      #: STAR multi-layer dirty bitmap
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Sizes (in lines) of each region for a given system configuration."""
+
+    data_lines: int
+    tree_lines: int
+    record_lines: int
+    shadow_lines: int
+    bitmap_lines: int
+
+    def __post_init__(self) -> None:
+        for name in ("data_lines", "tree_lines", "record_lines",
+                     "shadow_lines", "bitmap_lines"):
+            if getattr(self, name) < 0:
+                raise LayoutError(f"{name} must be non-negative")
+
+    @property
+    def data_mac_lines(self) -> int:
+        """One 8 B MAC entry per data block, 8 entries per 64 B line."""
+        return (self.data_lines + 7) // 8
+
+    def region_lines(self, region: Region) -> int:
+        """Number of lines in ``region``."""
+        if region is Region.DATA:
+            return self.data_lines
+        if region is Region.DATA_MAC:
+            return self.data_mac_lines
+        if region is Region.TREE:
+            return self.tree_lines
+        if region is Region.RECORDS:
+            return self.record_lines
+        if region is Region.SHADOW:
+            return self.shadow_lines
+        if region is Region.BITMAP:
+            return self.bitmap_lines
+        raise LayoutError(f"unknown region {region!r}")
+
+    def check(self, region: Region, index: int) -> None:
+        """Validate a (region, index) pair; raises ``LayoutError``."""
+        limit = self.region_lines(region)
+        if not 0 <= index < limit:
+            raise LayoutError(
+                f"index {index} out of range for region {region.value} "
+                f"(limit {limit})")
+
+    def region_bytes(self, region: Region) -> int:
+        return self.region_lines(region) * CACHE_LINE_BYTES
+
+    def region_base(self, region: Region) -> int:
+        """Base line address of ``region`` in the flat device space.
+
+        Regions are laid out in enum declaration order; the flat address
+        feeds the row-buffer model so that accesses to different regions
+        land in different rows, as they would physically.
+        """
+        base = 0
+        for reg in Region:
+            if reg is region:
+                return base
+            base += self.region_lines(reg)
+        raise LayoutError(f"unknown region {region!r}")
+
+    def global_line(self, region: Region, index: int) -> int:
+        """Flat line address of (region, index)."""
+        self.check(region, index)
+        return self.region_base(region) + index
+
+
+def build_layout(data_lines: int, tree_lines: int,
+                 metadata_cache_lines: int,
+                 shadow_lines: int = 0,
+                 bitmap_lines: int = 0) -> MemoryLayout:
+    """Construct a layout.
+
+    The record region has one 4-byte slot per metadata-cache line (a
+    256 KB cache, 4096 lines, needs 4096 slots = 256 record lines = 16 KB,
+    matching Table I).
+    """
+    record_lines = (metadata_cache_lines + OFFSETS_PER_RECORD_LINE - 1) \
+        // OFFSETS_PER_RECORD_LINE
+    return MemoryLayout(
+        data_lines=data_lines,
+        tree_lines=tree_lines,
+        record_lines=record_lines,
+        shadow_lines=shadow_lines,
+        bitmap_lines=bitmap_lines,
+    )

@@ -1,0 +1,159 @@
+"""NVM timing: PCM latency model and the 64-entry write queue.
+
+The memory controller is modelled as a serial resource (one Optane-style
+DIMM per controller, as the paper's scalability section describes:
+requests to the same DIMM are processed serially).  Reads stall the CPU
+for their full latency.  Writes are *posted*: the CPU only stalls when
+the write queue is full, but every queued write still occupies the device
+for ``tWR`` when it drains, so write-heavy phases back-pressure reads —
+the first-order behaviour that produces the paper's write-latency and
+execution-time gaps.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import NVMTimingConfig
+
+
+@dataclass
+class TimingStats:
+    """Aggregate latency observations."""
+
+    read_count: int = 0
+    read_latency_ns: float = 0.0
+    write_count: int = 0
+    write_latency_ns: float = 0.0
+    write_stall_ns: float = 0.0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    @property
+    def avg_read_ns(self) -> float:
+        return self.read_latency_ns / self.read_count if self.read_count else 0.0
+
+    @property
+    def avg_write_ns(self) -> float:
+        return self.write_latency_ns / self.write_count if self.write_count else 0.0
+
+
+class RowBufferModel:
+    """Tracks open rows to decide read hit/miss latency."""
+
+    def __init__(self, cfg: NVMTimingConfig) -> None:
+        self._cfg = cfg
+        self._open_rows: dict[int, None] = {}  # insertion-ordered LRU
+        self._capacity = cfg.row_buffer_rows
+
+    def access(self, row: int) -> bool:
+        """Touch ``row``; returns True on a row-buffer hit."""
+        hit = row in self._open_rows
+        if hit:
+            del self._open_rows[row]
+        elif len(self._open_rows) >= self._capacity:
+            oldest = next(iter(self._open_rows))
+            del self._open_rows[oldest]
+        self._open_rows[row] = None
+        return hit
+
+    def reset(self) -> None:
+        self._open_rows.clear()
+
+
+class NVMTimingModel:
+    """Serial-device timing with a bounded posted-write queue.
+
+    Device occupancy is tracked as ``_device_free_at`` (ns).  The write
+    queue holds completion times of outstanding writes; an arriving write
+    whose queue is full stalls the issuer until the oldest completes.
+    """
+
+    def __init__(self, cfg: NVMTimingConfig) -> None:
+        self.cfg = cfg
+        self.rows = RowBufferModel(cfg)
+        self.stats = TimingStats()
+        self._device_free_at = 0.0
+        self._queue: list[float] = []  # completion times, ascending
+
+    # ------------------------------------------------------------- reads
+    def read(self, now_ns: float, row: int) -> float:
+        """Issue a read at ``now_ns``; returns its completion time.
+
+        Reads have priority over queued writes but cannot preempt the
+        write currently occupying the device.
+        """
+        self._drain(now_ns)
+        hit = self.rows.access(row)
+        latency = self.cfg.read_hit_ns if hit else self.cfg.read_miss_ns
+        if hit:
+            self.stats.row_hits += 1
+        else:
+            self.stats.row_misses += 1
+        start = max(now_ns, self._device_free_at)
+        done = start + latency
+        self._device_free_at = done
+        self.stats.read_count += 1
+        self.stats.read_latency_ns += done - now_ns
+        return done
+
+    # ------------------------------------------------------------ writes
+    def write(self, now_ns: float, row: int) -> tuple[float, float]:
+        """Post a write at ``now_ns``.
+
+        Returns ``(issuer_free_at, completion_time)``: the issuer may
+        proceed at ``issuer_free_at`` (== ``now_ns`` unless the queue was
+        full); the line is durable at ``completion_time``.
+        """
+        self._drain(now_ns)
+        stall_until = now_ns
+        if len(self._queue) >= self.cfg.write_queue_entries:
+            # Queue full: the issuer waits for the oldest write to retire.
+            stall_until = self._queue[0]
+            self.stats.write_stall_ns += stall_until - now_ns
+            self._drain(stall_until)
+        self.rows.access(row)
+        start = max(stall_until, self._device_free_at)
+        # The cell write takes the full tWR to become durable, but with
+        # multiple banks the shared channel is only held for a fraction.
+        self._device_free_at = start + \
+            self.cfg.write_ns / self.cfg.bank_parallelism
+        # start times are monotone non-decreasing, so done times are too
+        # and the queue stays sorted without an explicit sort
+        done = start + self.cfg.write_ns
+        self._queue.append(done)
+        self.stats.write_count += 1
+        self.stats.write_latency_ns += done - now_ns
+        return stall_until, done
+
+    # ----------------------------------------------------------- helpers
+    def _drain(self, now_ns: float) -> None:
+        """Retire queued writes that completed by ``now_ns``."""
+        q = self._queue
+        i = 0
+        for i, t in enumerate(q):
+            if t > now_ns:
+                break
+        else:
+            i = len(q)
+        if i:
+            del q[:i]
+
+    def drain_all(self) -> float:
+        """Flush the queue completely; returns the time all writes retire.
+
+        Used by the ADR model on crash: residual-power drains the write
+        queue and ADR-domain lines into the medium.
+        """
+        done = self._device_free_at
+        self._queue.clear()
+        return done
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def reset(self) -> None:
+        self.rows.reset()
+        self.stats = TimingStats()
+        self._device_free_at = 0.0
+        self._queue.clear()

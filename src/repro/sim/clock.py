@@ -1,0 +1,121 @@
+"""Simulation clock: CPU time, NVM contention, and security-op latencies.
+
+One :class:`MemClock` instance is shared by the cache hierarchy, the
+secure memory controller, and the NVM device.  It advances a single
+``now`` timestamp (nanoseconds):
+
+* compute gaps and cache-hit latencies advance it unconditionally,
+* NVM *reads* advance it to the read's completion (the CPU stalls),
+* NVM *writes* are posted: they only advance it when the 64-entry write
+  queue is full (the paper's write-queue model), but their completion
+  time is returned so per-operation write latency can be measured,
+* hash / AES ops advance it by their pipeline latency when they are on
+  the critical path (callers decide; e.g. OTP generation overlaps the
+  data read, Sec. II-B).
+
+Energy is charged on the same calls so no operation can be timed but not
+metered (or vice versa).
+"""
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.nvm.device import NVMDevice
+from repro.nvm.energy import EnergyMeter
+from repro.nvm.layout import Region
+from repro.nvm.timing import NVMTimingModel
+
+
+class MemClock:
+    """Shared simulated-time authority."""
+
+    def __init__(self, cfg: SystemConfig, device: NVMDevice,
+                 meter: EnergyMeter) -> None:
+        self.cfg = cfg
+        self.device = device
+        self.meter = meter
+        self.timing = NVMTimingModel(cfg.nvm)
+        self.now = 0.0
+        self._lines_per_row = max(1, cfg.nvm.row_bytes // 64)
+
+    # ------------------------------------------------------------ time
+    def advance_cycles(self, cycles: float) -> None:
+        self.now += cycles / self.cfg.clock_ghz
+
+    def advance_ns(self, ns: float) -> None:
+        self.now += ns
+
+    # ------------------------------------------------------- NVM access
+    def _row_of(self, region: Region, index: int) -> int:
+        return self.device.layout.global_line(region, index) \
+            // self._lines_per_row
+
+    def nvm_read(self, region: Region, index: int) -> object:
+        """Blocking read of one line: stalls until data arrives."""
+        done = self.timing.read(self.now, self._row_of(region, index))
+        self.now = done
+        self.meter.nvm_read()
+        return self.device.read(region, index)
+
+    def nvm_read_overlapped(self, region: Region, index: int
+                            ) -> tuple[object, float]:
+        """Read whose latency the caller overlaps with other work.
+
+        Returns ``(value, completion_time)``; ``now`` is *not* advanced —
+        the caller joins with ``join(completion_time)`` once the parallel
+        work is accounted.
+        """
+        done = self.timing.read(self.now, self._row_of(region, index))
+        self.meter.nvm_read()
+        return self.device.read(region, index), done
+
+    def nvm_write(self, region: Region, index: int, value: object) -> float:
+        """Posted write; returns the durability (completion) time.
+
+        Advances ``now`` only if the write queue was full.
+        """
+        stall_until, done = self.timing.write(
+            self.now, self._row_of(region, index))
+        self.now = stall_until
+        self.meter.nvm_write()
+        self.device.write(region, index, value)
+        return done
+
+    def join(self, completion_time: float) -> None:
+        """Wait until an overlapped operation finishes."""
+        if completion_time > self.now:
+            self.now = completion_time
+
+    # --------------------------------------------------- security units
+    def hash_op(self, n: int = 1, on_critical_path: bool = True) -> None:
+        """n HMAC computations.  Serial when on the critical path; a
+        pipelined off-path hash still costs energy but no stall."""
+        self.meter.hash(n)
+        if on_critical_path and n:
+            self.now += n * self.cfg.hash_latency_ns
+
+    def aes_op(self, n: int = 1, on_critical_path: bool = True) -> None:
+        self.meter.aes(n)
+        if on_critical_path and n:
+            self.now += n * self.cfg.aes_latency_ns
+
+    def alu_op(self, n: int = 1, cycles_each: float = 1.0,
+               on_critical_path: bool = True) -> None:
+        """Cheap linear-function work (Steins' counter generation)."""
+        self.meter.alu(n)
+        if on_critical_path and n:
+            self.now += n * cycles_each / self.cfg.clock_ghz
+
+    def sram_op(self, n: int = 1) -> None:
+        """On-controller SRAM/register traffic: energy only, no stall."""
+        self.meter.sram(n)
+
+    # ----------------------------------------------------------- admin
+    def drain_writes(self) -> None:
+        """Retire all queued writes (graceful shutdown / ADR flush)."""
+        done = self.timing.drain_all()
+        if done > self.now:
+            self.now = done
+
+    def reset(self) -> None:
+        self.timing.reset()
+        self.now = 0.0

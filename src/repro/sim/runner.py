@@ -1,0 +1,88 @@
+"""High-level run helpers: one call per (scheme, workload) cell.
+
+This is the API the figure harness and the benchmarks drive.  A *variant*
+name like ``"steins-sc"`` selects both the controller and the leaf
+counter mode, mirroring the paper's scheme naming (WB-GC, WB-SC, ASIT,
+STAR, Steins-GC, Steins-SC; ASIT and STAR are GC-only, as in the paper).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import CounterMode, SystemConfig, default_config
+from repro.common.errors import ConfigError
+from repro.sim.stats import RunResult
+from repro.sim.system import SecureNVMSystem
+from repro.workloads import get_profile
+from repro.workloads.trace import TraceArrays
+
+#: paper variant name -> (controller scheme, counter mode)
+VARIANTS: dict[str, tuple[str, CounterMode]] = {
+    "wb-gc": ("wb", CounterMode.GENERAL),
+    "wb-sc": ("wb", CounterMode.SPLIT),
+    "asit": ("asit", CounterMode.GENERAL),
+    "star": ("star", CounterMode.GENERAL),
+    "scue": ("scue", CounterMode.GENERAL),
+    "steins-gc": ("steins", CounterMode.GENERAL),
+    "steins-sc": ("steins", CounterMode.SPLIT),
+}
+
+#: variants shown in the -GC figures (9, 10, 11, 13, 15)
+GC_VARIANTS: tuple[str, ...] = ("wb-gc", "asit", "star", "steins-gc")
+#: variants shown in the -SC figures (12, 14, 16)
+SC_VARIANTS: tuple[str, ...] = ("wb-sc", "steins-gc", "steins-sc")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one simulation cell.
+
+    The default footprint (8 MB of data blocks) deliberately exceeds the
+    2 MB LLC of Table I so dirty evictions actually reach the memory
+    controller, which is where the compared schemes differ.
+    """
+
+    variant: str
+    workload: str
+    accesses: int = 60_000
+    footprint_blocks: int = 1 << 17   # 8 MB of data blocks
+    seed: int = 2024
+    check: bool = True
+
+
+def make_system(variant: str, cfg: SystemConfig | None = None,
+                check: bool = True) -> SecureNVMSystem:
+    """Instantiate a system for a paper variant name."""
+    if variant not in VARIANTS:
+        raise ConfigError(
+            f"unknown variant {variant!r}; pick one of {sorted(VARIANTS)}")
+    scheme, mode = VARIANTS[variant]
+    if cfg is None:
+        cfg = default_config()
+    cfg = cfg.with_counter_mode(mode)
+    return SecureNVMSystem(scheme, cfg, check=check)
+
+
+def run_trace(system: SecureNVMSystem, trace: TraceArrays,
+              workload_name: str, flush_writes: bool = False) -> RunResult:
+    """Drive one trace through a system and collect the metrics.
+
+    ``flush_writes`` applies clwb semantics after every store (the
+    persistent-workload idiom).
+    """
+    for is_write, addr, gap in trace:
+        system.advance(gap)
+        if is_write:
+            system.store(addr, flush=flush_writes)
+        else:
+            system.load(addr)
+    return system.result(workload_name)
+
+
+def run_cell(spec: RunSpec, cfg: SystemConfig | None = None) -> RunResult:
+    """Run one (variant, workload) cell from scratch."""
+    system = make_system(spec.variant, cfg, check=spec.check)
+    profile = get_profile(spec.workload)
+    trace = profile.generate(spec.seed, spec.accesses, spec.footprint_blocks)
+    return run_trace(system, trace, spec.workload,
+                     flush_writes=profile.persistent)

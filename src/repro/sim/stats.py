@@ -1,0 +1,74 @@
+"""Aggregated results of one simulation run.
+
+One :class:`RunResult` captures everything a paper figure needs:
+execution time (Fig. 9/12), average read/write latency (Fig. 10/11),
+NVM write traffic (Fig. 13/14), and energy (Fig. 15/16); normalization
+against a baseline run is a method, mirroring how the paper reports
+everything relative to WB.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Metrics of one (scheme, workload) simulation."""
+
+    scheme: str
+    workload: str
+    exec_time_ns: float
+    data_reads: int
+    data_writes: int
+    avg_read_latency_ns: float
+    avg_write_latency_ns: float
+    nvm_write_traffic: int
+    nvm_read_traffic: int
+    energy_nj: float
+    metadata_cache_hit_rate: float
+    detail: dict[str, float] = field(default_factory=dict)
+
+    # ---------------------------------------------------- normalization
+    def normalized_to(self, base: "RunResult") -> dict[str, float]:
+        """The paper's presentation: every metric relative to a baseline."""
+        def ratio(a: float, b: float) -> float:
+            return a / b if b else float("nan")
+
+        return {
+            "exec_time": ratio(self.exec_time_ns, base.exec_time_ns),
+            "read_latency": ratio(self.avg_read_latency_ns,
+                                  base.avg_read_latency_ns),
+            "write_latency": ratio(self.avg_write_latency_ns,
+                                   base.avg_write_latency_ns),
+            "write_traffic": ratio(self.nvm_write_traffic,
+                                   base.nvm_write_traffic),
+            "energy": ratio(self.energy_nj, base.energy_nj),
+        }
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "exec_time_ns": self.exec_time_ns,
+            "data_reads": self.data_reads,
+            "data_writes": self.data_writes,
+            "avg_read_latency_ns": self.avg_read_latency_ns,
+            "avg_write_latency_ns": self.avg_write_latency_ns,
+            "nvm_write_traffic": self.nvm_write_traffic,
+            "nvm_read_traffic": self.nvm_read_traffic,
+            "energy_nj": self.energy_nj,
+            "metadata_cache_hit_rate": self.metadata_cache_hit_rate,
+            **self.detail,
+        }
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geomean used for "on average" claims across workloads."""
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric mean needs positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))

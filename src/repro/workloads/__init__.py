@@ -1,0 +1,40 @@
+"""Workload traces: synthetic primitives, SPEC-like and persistent profiles."""
+from repro.workloads.persistent import PERSISTENT_PROFILES
+from repro.workloads.spec import SPEC_PROFILES, WorkloadProfile
+from repro.workloads.trace import TraceArrays, concat, interleave
+from repro.workloads.tracefile import load_trace, save_trace
+
+#: all ten paper workloads: eight SPEC-like plus the two STAR persistent
+ALL_PROFILES: dict[str, WorkloadProfile] = {
+    **SPEC_PROFILES, **PERSISTENT_PROFILES}
+
+#: the paper's workload ordering for figures
+PAPER_WORKLOADS: tuple[str, ...] = (
+    "lbm_r", "mcf_r", "libquantum", "milc", "cactusADM", "gems",
+    "xalancbmk", "omnetpp", "pers_hash", "pers_swap",
+)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a workload by name with a helpful error."""
+    try:
+        return ALL_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: "
+            f"{sorted(ALL_PROFILES)}") from None
+
+
+__all__ = [
+    "ALL_PROFILES",
+    "PAPER_WORKLOADS",
+    "PERSISTENT_PROFILES",
+    "SPEC_PROFILES",
+    "TraceArrays",
+    "WorkloadProfile",
+    "concat",
+    "get_profile",
+    "interleave",
+    "load_trace",
+    "save_trace",
+]

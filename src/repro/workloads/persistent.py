@@ -1,0 +1,82 @@
+"""The two persistent workloads from STAR (paper Sec. IV).
+
+Persistent-memory data structures flush every update to NVM, so their
+traces are write-dominated and every store is followed by the data
+structure's own metadata writes.  We model the two STAR uses:
+
+* ``pers_hash`` — random inserts into a persistent hash table: each
+  insert reads the bucket head, writes the new entry, and writes the
+  bucket head (plus occasional overflow-chain walks),
+* ``pers_swap`` — random array-element swaps: two reads followed by two
+  writes per operation, the classic undo-log microbenchmark pattern.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.workloads.spec import WorkloadProfile
+from repro.workloads.trace import TraceArrays
+
+
+def _pers_hash(seed: int, n: int, fp: int) -> TraceArrays:
+    """Persistent hash-table inserts.
+
+    Layout: first quarter of the footprint holds bucket heads, the rest
+    is the entry pool.  Each insert: read head, write entry, write head
+    (3 accesses); 10% of inserts also walk one chained entry (1 read).
+    """
+    if fp < 8:
+        raise ConfigError("footprint too small for the hash layout")
+    rng = make_rng(seed, "pers_hash")
+    buckets = fp // 4
+    pool_base = buckets
+    pool = fp - buckets
+    ops = max(1, n // 3)
+    head = rng.integers(0, buckets, size=ops)
+    entry = pool_base + rng.integers(0, pool, size=ops)
+    chain = rng.random(ops) < 0.10
+    addresses: list[int] = []
+    writes: list[bool] = []
+    for i in range(ops):
+        addresses.append(int(head[i]))
+        writes.append(False)                       # read bucket head
+        if chain[i]:
+            addresses.append(int(pool_base + (entry[i] * 7) % pool))
+            writes.append(False)                   # walk one chain link
+        addresses.append(int(entry[i]))
+        writes.append(True)                        # write the entry
+        addresses.append(int(head[i]))
+        writes.append(True)                        # persist the new head
+    gaps = make_rng(seed, "pers_hash_gaps").poisson(
+        8, size=len(addresses)).astype(np.int32)
+    return TraceArrays(np.array(writes), np.array(addresses, dtype=np.int64),
+                       gaps)
+
+
+def _pers_swap(seed: int, n: int, fp: int) -> TraceArrays:
+    """Random array swaps: read a, read b, write a, write b."""
+    rng = make_rng(seed, "pers_swap")
+    ops = max(1, n // 4)
+    a = rng.integers(0, fp, size=ops)
+    b = rng.integers(0, fp, size=ops)
+    addresses = np.empty(4 * ops, dtype=np.int64)
+    addresses[0::4] = a
+    addresses[1::4] = b
+    addresses[2::4] = a
+    addresses[3::4] = b
+    is_write = np.tile(np.array([False, False, True, True]), ops)
+    gaps = make_rng(seed, "pers_swap_gaps").poisson(
+        10, size=4 * ops).astype(np.int32)
+    return TraceArrays(is_write, addresses, gaps)
+
+
+PERSISTENT_PROFILES: dict[str, WorkloadProfile] = {
+    p.name: p for p in (
+        WorkloadProfile("pers_hash", "persistent hash-table inserts",
+                        _pers_hash, persistent=True, footprint_mult=0.25),
+        WorkloadProfile("pers_swap", "persistent random array swaps",
+                        _pers_swap, persistent=True, footprint_mult=0.25),
+    )
+}

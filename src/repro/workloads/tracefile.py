@@ -1,0 +1,69 @@
+"""Trace persistence: save/load traces as compressed ``.npz`` files.
+
+Lets expensive traces (or externally captured ones — e.g. converted PIN
+or gem5 traces) be reused across runs and shared between machines.  The
+format is three named numpy arrays plus a small metadata record, all
+inside one ``numpy.savez_compressed`` archive.
+"""
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.workloads.trace import TraceArrays
+
+#: bumped if the on-disk layout ever changes
+FORMAT_VERSION = 1
+
+
+def save_trace(path: str | pathlib.Path, trace: TraceArrays,
+               name: str = "", seed: int | None = None) -> None:
+    """Write a trace (plus provenance metadata) to ``path``."""
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "name": name,
+        "seed": seed,
+        "accesses": len(trace),
+        "footprint_blocks": trace.footprint_blocks,
+        "write_fraction": trace.write_fraction,
+    }
+    np.savez_compressed(
+        path,
+        is_write=trace.is_write.astype(np.bool_),
+        address=trace.address.astype(np.int64),
+        gap_cycles=trace.gap_cycles.astype(np.int32),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+
+
+def load_trace(path: str | pathlib.Path) -> tuple[TraceArrays, dict]:
+    """Read a trace and its metadata back.
+
+    Raises :class:`ConfigError` on malformed or future-format files.
+    """
+    try:
+        with np.load(path) as archive:
+            required = {"is_write", "address", "gap_cycles", "meta"}
+            missing = required - set(archive.files)
+            if missing:
+                raise ConfigError(
+                    f"trace file {path} is missing arrays: {sorted(missing)}")
+            meta = json.loads(bytes(archive["meta"]).decode())
+            if meta.get("format_version", 0) > FORMAT_VERSION:
+                raise ConfigError(
+                    f"trace file {path} uses a newer format "
+                    f"({meta['format_version']} > {FORMAT_VERSION})")
+            trace = TraceArrays(
+                archive["is_write"].astype(bool),
+                archive["address"].astype(np.int64),
+                archive["gap_cycles"].astype(np.int32),
+            )
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot load trace file {path}: {exc}") from exc
+    if len(trace) != meta.get("accesses", len(trace)):
+        raise ConfigError(
+            f"trace file {path} metadata/array length mismatch")
+    return trace, meta

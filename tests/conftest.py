@@ -1,0 +1,57 @@
+"""Shared fixtures: scaled-down systems that exercise every code path
+(evictions, recursion up the tree, record-line pressure) in milliseconds.
+"""
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+# the controllers raise this at construction time anyway; doing it up
+# front keeps hypothesis from warning about a mid-test change
+sys.setrecursionlimit(100_000)
+
+from repro.common.config import CounterMode, small_config
+from repro.sim.system import SecureNVMSystem
+from repro.workloads import get_profile
+
+
+@pytest.fixture
+def gc_config():
+    """Small general-counter configuration."""
+    return small_config(CounterMode.GENERAL)
+
+
+@pytest.fixture
+def sc_config():
+    """Small split-counter configuration."""
+    return small_config(CounterMode.SPLIT)
+
+
+@pytest.fixture
+def make_small_system():
+    """Factory: scheme name (+ optional counter mode) -> wired system."""
+    def factory(scheme: str, mode: CounterMode = CounterMode.GENERAL,
+                **cfg_kwargs) -> SecureNVMSystem:
+        cfg = small_config(mode, **cfg_kwargs)
+        return SecureNVMSystem(scheme, cfg, check=True)
+    return factory
+
+
+@pytest.fixture
+def small_trace():
+    """A mixed read/write trace sized for the small config."""
+    return get_profile("pers_hash").generate(seed=11, n=2400, footprint=4096)
+
+
+def drive(system: SecureNVMSystem, trace, flush_writes: bool = True,
+          limit: int | None = None) -> None:
+    """Drive a trace through a system (tests import this helper)."""
+    for i, (is_write, addr, gap) in enumerate(trace):
+        if limit is not None and i >= limit:
+            break
+        system.advance(gap)
+        if is_write:
+            system.store(addr, flush=flush_writes)
+        else:
+            system.load(addr)

@@ -1,0 +1,135 @@
+"""Analysis harness: storage overhead, recovery model, table rendering."""
+import pytest
+
+from repro.analysis.recovery_model import (
+    estimate,
+    figure17_sweep,
+    reads_per_node,
+    scue_rebuild_estimate,
+)
+from repro.analysis.report import render_kv, render_table
+from repro.analysis.storage import (
+    all_storage_breakdowns,
+    leaf_storage_fraction,
+    storage_breakdown,
+)
+from repro.common.config import CounterMode
+from repro.common.units import GB, KB, MB
+
+
+class TestStorage:
+    def test_gc_leaves_are_one_eighth(self):
+        """Sec. IV-E: 2 GB of leaf storage for 16 GB NVM with GC."""
+        b = storage_breakdown("wb-gc")
+        assert b.leaf_bytes == 2 * GB
+        assert b.tree_height == 9
+
+    def test_sc_leaves_are_one_sixty_fourth(self):
+        """Sec. IV-E: 256 MB of leaf storage with split counters."""
+        b = storage_breakdown("steins-sc")
+        assert b.leaf_bytes == 256 * MB
+        assert b.tree_height == 8
+
+    def test_sc_intermediates_smaller_than_gc(self):
+        gc = storage_breakdown("steins-gc")
+        sc = storage_breakdown("steins-sc")
+        assert sc.intermediate_bytes < gc.intermediate_bytes
+
+    def test_asit_extras(self):
+        """ASIT: shadow table = cache size; 1/8 cache for HMACs."""
+        b = storage_breakdown("asit")
+        assert b.extra_nvm_bytes == 256 * KB
+        assert b.extra_cache_bytes == 256 * KB // 8
+
+    def test_star_extras(self):
+        """STAR: 1/64 cache for set-MACs plus the bitmap."""
+        b = storage_breakdown("star")
+        assert b.extra_cache_bytes == 256 * KB // 64
+        assert b.extra_nvm_bytes > 0
+
+    def test_steins_extras(self):
+        """Steins: 16 KB records, no cache-tree space, 64 B LIncs +
+        128 B buffer + root on chip."""
+        b = storage_breakdown("steins-gc")
+        assert b.extra_nvm_bytes == 16 * KB
+        assert b.extra_cache_bytes == 0
+        assert b.onchip_nv_bytes == 64 + 64 + 128
+
+    def test_all_breakdowns(self):
+        rows = all_storage_breakdowns()
+        assert len(rows) == 7
+        assert {b.scheme for b in rows} == {"wb", "asit", "star",
+                                            "steins", "scue"}
+        d = rows[0].as_dict()
+        assert "tree_bytes" in d
+
+    def test_leaf_fraction(self):
+        assert leaf_storage_fraction(CounterMode.GENERAL) == 1 / 8
+        assert leaf_storage_fraction(CounterMode.SPLIT) == 1 / 64
+
+
+class TestRecoveryModel:
+    def test_paper_fig17_values_at_4mb(self):
+        """Fig. 17: ~0.02 / 0.065 / 0.08 / 0.44 seconds at 4 MB."""
+        t = {v: estimate(v, 4 * MB).time_s
+             for v in ("asit", "star", "steins-gc", "steins-sc")}
+        assert t["asit"] == pytest.approx(0.02, rel=0.15)
+        assert t["star"] == pytest.approx(0.065, rel=0.15)
+        assert t["steins-gc"] == pytest.approx(0.08, rel=0.15)
+        assert t["steins-sc"] == pytest.approx(0.44, rel=0.15)
+
+    def test_paper_ordering(self):
+        t = {v: estimate(v, 4 * MB).time_s
+             for v in ("asit", "star", "steins-gc", "steins-sc")}
+        assert t["asit"] < t["star"] < t["steins-gc"] < t["steins-sc"]
+
+    def test_linear_in_cache_size(self):
+        """The paper: recovery time grows linearly with cache size."""
+        small = estimate("steins-gc", 1 * MB)
+        big = estimate("steins-gc", 4 * MB)
+        assert big.time_s == pytest.approx(4 * small.time_s)
+
+    def test_sweep_covers_sizes(self):
+        sweep = figure17_sweep((256 * KB, 4 * MB))
+        assert set(sweep) == {"asit", "star", "steins-gc", "steins-sc"}
+        assert all(len(v) == 2 for v in sweep.values())
+
+    def test_scue_rebuild_is_orders_slower(self):
+        """The reason the paper excludes SCUE: whole-tree rebuilds scale
+        with memory capacity, not cache size."""
+        scue_16g = scue_rebuild_estimate(16 * GB)
+        steins = estimate("steins-gc", 4 * MB).time_s
+        assert scue_16g > 40 * steins
+        assert scue_rebuild_estimate(1024 * GB) > 60 * scue_16g / 64 * 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate("steins-gc", 0)
+        with pytest.raises(ValueError):
+            reads_per_node("wb-gc")
+
+
+class TestReport:
+    def test_render_table(self):
+        rows = {"wl1": {"a": 1.0, "b": 2.0}, "wl2": {"a": 3.0, "b": 4.0}}
+        out = render_table("T", ["a", "b"], rows)
+        assert "T" in out and "wl1" in out and "geomean" in out
+        assert "1.000" in out and "4.000" in out
+
+    def test_render_table_geomean(self):
+        rows = {"x": {"a": 2.0}, "y": {"a": 8.0}}
+        out = render_table("T", ["a"], rows)
+        assert "4.000" in out  # geomean(2, 8)
+
+    def test_render_table_missing_cells(self):
+        rows = {"x": {"a": 1.0}}
+        out = render_table("T", ["a", "b"], rows)
+        assert "-" in out
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_table("T", ["a"], {})
+
+    def test_render_kv(self):
+        out = render_kv("Config", {"cache": "256KB", "levels": 9})
+        assert "cache" in out and "256KB" in out

@@ -1,0 +1,84 @@
+"""Bonsai Merkle Tree: functional correctness and serial update cost."""
+import pytest
+
+from repro.common.errors import TamperDetectedError
+from repro.crypto.engine import make_engine
+from repro.integrity.bmt import BonsaiMerkleTree
+from repro.integrity.geometry import TreeGeometry
+
+ENGINE = make_engine(0xB0B)
+
+
+def make_bmt(blocks=4096) -> BonsaiMerkleTree:
+    g = TreeGeometry(num_data_blocks=blocks, leaf_coverage=8, root_arity=8)
+    return BonsaiMerkleTree(g, ENGINE)
+
+
+def test_update_then_verify():
+    bmt = make_bmt()
+    bmt.update_leaf(10, payload=777)
+    bmt.verify_leaf(10)
+    assert bmt.leaf_payload(10) == 777
+
+
+def test_untouched_leaf_verifies():
+    bmt = make_bmt()
+    bmt.verify_leaf(99)
+
+
+def test_untouched_leaf_near_touched_one_verifies():
+    bmt = make_bmt()
+    bmt.update_leaf(8, payload=1)
+    bmt.verify_leaf(9)   # same parent, never written
+
+
+def test_root_changes_on_update():
+    bmt = make_bmt()
+    r0 = bmt.root_hash
+    bmt.update_leaf(0, payload=5)
+    r1 = bmt.root_hash
+    assert r1 != r0
+    bmt.update_leaf(0, payload=6)
+    assert bmt.root_hash != r1
+
+
+def test_tamper_detected():
+    bmt = make_bmt()
+    bmt.update_leaf(3, payload=123)
+    bmt.tamper_leaf(3, payload=124)
+    with pytest.raises(TamperDetectedError):
+        bmt.verify_leaf(3)
+
+
+def test_serial_hash_cost_grows_with_tree():
+    """Sec. II-C: BMT updates are sequential along the whole branch."""
+    small = make_bmt(blocks=512)
+    big = make_bmt(blocks=512 * 64)
+    cost_small = small.update_leaf(0, 1).serial_hashes
+    cost_big = big.update_leaf(0, 1).serial_hashes
+    assert cost_big > cost_small
+    # one hash per level plus the root combine
+    assert cost_big == big.geometry.num_levels + 1
+
+
+def test_update_cost_counts_touched_nodes():
+    bmt = make_bmt()
+    cost = bmt.update_leaf(0, 1)
+    assert cost.nodes_touched == bmt.geometry.num_levels
+
+
+def test_distinct_leaves_distinct_hashes():
+    bmt = make_bmt()
+    bmt.update_leaf(0, payload=7)
+    bmt.update_leaf(1, payload=7)
+    # same payload at different addresses must differ in the parent
+    parent = bmt._nodes[(1, 0)]
+    assert parent[0] != parent[1]
+
+
+def test_sibling_update_keeps_other_verified():
+    bmt = make_bmt()
+    bmt.update_leaf(0, payload=1)
+    bmt.update_leaf(1, payload=2)
+    bmt.verify_leaf(0)
+    bmt.verify_leaf(1)

@@ -1,0 +1,135 @@
+"""The ASIT/STAR cache-tree and Steins' LInc register."""
+import pytest
+
+from repro.baselines.cachetree import CacheTree
+from repro.common.errors import ConfigError, TamperDetectedError
+from repro.counters import GeneralCounterBlock
+from repro.core.lincs import LIncRegister
+from repro.crypto.engine import make_engine
+from repro.integrity.node import SITNode
+
+ENGINE = make_engine(0xC0FFEE)
+
+
+class TestCacheTree:
+    def test_root_stable_for_same_leaves(self):
+        a = CacheTree("a", 64, ENGINE)
+        b = CacheTree("b", 64, ENGINE)
+        a.update_leaf(5, 123)
+        b.update_leaf(5, 123)
+        assert a.root == b.root
+
+    def test_update_changes_root(self):
+        t = CacheTree("t", 64, ENGINE)
+        r0 = t.root
+        t.update_leaf(0, 1)
+        assert t.root != r0
+
+    def test_serial_cost_is_depth(self):
+        # 4096 leaves -> 512 -> 64 -> 8 -> 1: four combines (the paper's
+        # "4-level cache-tree" for a 256 KB cache)
+        t = CacheTree("t", 4096, ENGINE)
+        assert t.update_leaf(0, 1) == 4
+        small = CacheTree("s", 8, ENGINE)
+        assert small.update_leaf(0, 1) == 1
+
+    def test_rebuild_and_verify_roundtrip(self):
+        t = CacheTree("t", 64, ENGINE)
+        leaves = [0] * 64
+        for i in (3, 17, 63):
+            leaves[i] = ENGINE.digest64(i)
+            t.update_leaf(i, leaves[i])
+        t.crash()
+        t.rebuild_and_verify(list(leaves))  # matches NV root
+
+    def test_rebuild_detects_tampering(self):
+        t = CacheTree("t", 64, ENGINE)
+        t.update_leaf(3, 999)
+        t.crash()
+        leaves = [0] * 64
+        leaves[3] = 998   # attacker-modified leaf
+        with pytest.raises(TamperDetectedError):
+            t.rebuild_and_verify(leaves)
+
+    def test_rebuild_detects_missing_update(self):
+        t = CacheTree("t", 64, ENGINE)
+        t.update_leaf(3, 999)
+        t.crash()
+        with pytest.raises(TamperDetectedError):
+            t.rebuild_and_verify([0] * 64)   # update scrubbed
+
+    def test_rebuild_length_checked(self):
+        t = CacheTree("t", 64, ENGINE)
+        with pytest.raises(ConfigError):
+            t.rebuild_and_verify([0] * 63)
+
+    def test_crash_keeps_root(self):
+        t = CacheTree("t", 64, ENGINE)
+        t.update_leaf(0, 42)
+        root = t.root
+        t.crash()
+        assert t.root == root
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            CacheTree("t", 0, ENGINE)
+        with pytest.raises(ConfigError):
+            CacheTree("t", 8, ENGINE, arity=1)
+
+
+class TestLIncs:
+    def test_initial_zero(self):
+        lincs = LIncRegister(4)
+        assert lincs.values() == [0, 0, 0, 0]
+
+    def test_add_and_get(self):
+        lincs = LIncRegister(4)
+        lincs.add(0, 5)
+        lincs.add(0, 2)
+        assert lincs.get(0) == 7
+
+    def test_transfer_moves_between_levels(self):
+        """Sec. III-E: eviction moves the increment up one level."""
+        lincs = LIncRegister(4)
+        lincs.add(1, 10)
+        lincs.transfer(1, 2, 4)
+        assert lincs.get(1) == 6
+        assert lincs.get(2) == 4
+
+    def test_transfer_to_root_drops_increment(self):
+        lincs = LIncRegister(4)
+        lincs.add(3, 9)
+        lincs.transfer(3, None, 9)
+        assert lincs.get(3) == 0
+
+    def test_negative_total_is_a_bug(self):
+        lincs = LIncRegister(2)
+        with pytest.raises(AssertionError):
+            lincs.add(0, -1)
+
+    def test_level_bounds(self):
+        lincs = LIncRegister(2)
+        with pytest.raises(ConfigError):
+            lincs.get(2)
+        with pytest.raises(ConfigError):
+            lincs.add(-1, 0)
+
+    def test_capacity_limit(self):
+        with pytest.raises(ConfigError):
+            LIncRegister(9)   # a 64 B register holds at most 8
+        LIncRegister(8)
+
+    def test_set_all(self):
+        lincs = LIncRegister(3)
+        lincs.set_all([1, 2, 3])
+        assert lincs.values() == [1, 2, 3]
+        with pytest.raises(ConfigError):
+            lincs.set_all([1])
+
+    def test_recompute_invariant(self):
+        lincs = LIncRegister(2)
+        cached = SITNode(0, 0, GeneralCounterBlock([3, 0, 0, 0, 0, 0, 0, 0]))
+        dirty = [(0, cached)]
+        sums = lincs.recompute_invariant(
+            dirty, nvm_gensum=lambda level, index: 1)
+        assert sums == [2, 0]

@@ -1,0 +1,67 @@
+"""Terminal bar-chart rendering."""
+import pytest
+
+from repro.analysis.charts import hbar, render_grouped_bars, render_series
+from repro.common.errors import ConfigError
+
+
+def test_hbar_scaling():
+    assert hbar(0, scale=10, width=10) == ""
+    assert hbar(5, scale=10, width=10).startswith("█████")
+    assert len(hbar(5, scale=10, width=10)) <= 10
+
+
+def test_hbar_clips_with_marker():
+    bar = hbar(100, scale=10, width=10)
+    assert bar.endswith(">")
+    assert len(bar) == 10
+
+
+def test_hbar_fractional_blocks():
+    bar = hbar(1.5, scale=10, width=10)
+    assert len(bar) == 2   # one full block + one partial
+
+
+def test_hbar_validation():
+    with pytest.raises(ConfigError):
+        hbar(1, scale=0)
+    with pytest.raises(ConfigError):
+        hbar(-1, scale=10)
+    with pytest.raises(ConfigError):
+        hbar(1, scale=10, width=0)
+
+
+def test_grouped_bars_contains_everything():
+    rows = {"wl1": {"a": 1.0, "b": 2.0}, "wl2": {"a": 0.5, "b": 1.5}}
+    out = render_grouped_bars("Fig X", ["a", "b"], rows)
+    assert "Fig X" in out
+    assert "wl1:" in out and "wl2:" in out
+    assert "2.000" in out and "0.500" in out
+    assert "|" in out   # the 1.0 baseline tick
+
+
+def test_grouped_bars_handles_missing():
+    rows = {"wl": {"a": 1.0, "b": None}}
+    out = render_grouped_bars("T", ["a", "b"], rows)
+    assert "(n/a)" in out
+
+
+def test_grouped_bars_empty_rejected():
+    with pytest.raises(ConfigError):
+        render_grouped_bars("T", ["a"], {})
+
+
+def test_render_series():
+    points = {"256KB": {"asit": 0.001, "star": 0.004},
+              "4MB": {"asit": 0.02, "star": 0.06}}
+    out = render_series("Fig 17", points)
+    assert "256KB:" in out and "4MB:" in out
+    assert "0.0600" in out
+
+
+def test_cli_chart_flag(capsys):
+    from repro.cli import main
+    assert main(["figure", "17", "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "█" in out
+    assert "steins-sc" in out

@@ -1,0 +1,102 @@
+"""The simulation clock: stalls, overlap, posted writes, energy coupling."""
+import pytest
+
+from repro.common.config import EnergyConfig, small_config
+from repro.nvm.device import NVMDevice
+from repro.nvm.energy import EnergyMeter
+from repro.nvm.layout import Region, build_layout
+from repro.sim.clock import MemClock
+
+
+@pytest.fixture
+def rig():
+    cfg = small_config()
+    device = NVMDevice(build_layout(1024, 256, 64))
+    meter = EnergyMeter(EnergyConfig())
+    return MemClock(cfg, device, meter), device, meter
+
+
+def test_advance(rig):
+    clock, _, _ = rig
+    clock.advance_cycles(200)   # 2 GHz -> 100 ns
+    assert clock.now == pytest.approx(100.0)
+    clock.advance_ns(50)
+    assert clock.now == pytest.approx(150.0)
+
+
+def test_blocking_read_stalls_and_meters(rig):
+    clock, device, meter = rig
+    device.poke(Region.DATA, 3, 42)
+    value = clock.nvm_read(Region.DATA, 3)
+    assert value == 42
+    assert clock.now >= 63.0          # tRCD + tCL row miss
+    assert meter.breakdown.nvm_reads == 1
+
+
+def test_overlapped_read_does_not_stall(rig):
+    clock, device, _ = rig
+    device.poke(Region.DATA, 3, 42)
+    value, done = clock.nvm_read_overlapped(Region.DATA, 3)
+    assert value == 42
+    assert clock.now == 0.0
+    assert done > 0
+    clock.join(done)
+    assert clock.now == done
+    clock.join(done - 10)   # joining the past is a no-op
+    assert clock.now == done
+
+
+def test_posted_write_returns_completion(rig):
+    clock, device, meter = rig
+    done = clock.nvm_write(Region.DATA, 1, ("data", 1, 2, 3))
+    assert clock.now < done           # posted: issuer continues
+    assert done >= 300.0
+    assert device.peek(Region.DATA, 1) == ("data", 1, 2, 3)
+    assert meter.breakdown.nvm_writes == 1
+
+
+def test_hash_critical_vs_pipelined(rig):
+    clock, _, meter = rig
+    clock.hash_op(2)                   # on path: 2 x 20 ns
+    assert clock.now == pytest.approx(40.0)
+    clock.hash_op(3, on_critical_path=False)
+    assert clock.now == pytest.approx(40.0)   # no stall
+    assert meter.breakdown.hashes == 5        # but all metered
+
+
+def test_aes_and_alu(rig):
+    clock, _, meter = rig
+    clock.aes_op()
+    assert clock.now == pytest.approx(20.0)
+    clock.alu_op(cycles_each=4.0)
+    assert clock.now == pytest.approx(22.0)
+    clock.sram_op(2)
+    assert clock.now == pytest.approx(22.0)   # register traffic: free
+    assert meter.breakdown.sram_accesses == 2
+
+
+def test_drain_writes(rig):
+    clock, _, _ = rig
+    clock.nvm_write(Region.DATA, 0, 1)
+    clock.nvm_write(Region.DATA, 1, 2)
+    assert clock.timing.queue_depth == 2
+    clock.drain_writes()
+    assert clock.timing.queue_depth == 0
+    assert clock.now > 0
+
+
+def test_reset(rig):
+    clock, _, _ = rig
+    clock.nvm_read(Region.DATA, 0)
+    clock.reset()
+    assert clock.now == 0.0
+    assert clock.timing.stats.read_count == 0
+
+
+def test_row_mapping_regions_do_not_alias(rig):
+    clock, _, _ = rig
+    # same index in different regions must map to different rows when
+    # the regions are further apart than one row
+    row_data = clock._row_of(Region.DATA, 0)
+    row_tree = clock._row_of(Region.TREE, 0)
+    assert row_data != row_tree

@@ -1,0 +1,98 @@
+"""The Fig.-1 CME split counter block and its BMT integration."""
+import pytest
+
+from repro.common import constants as C
+from repro.common.errors import CounterOverflowError
+from repro.counters.cme import (
+    MINOR_BITS,
+    MINOR_MAX,
+    MINORS,
+    CMESplitCounterBlock,
+)
+from repro.crypto.engine import make_engine
+from repro.integrity.bmt import BonsaiMerkleTree
+from repro.integrity.geometry import TreeGeometry
+
+
+def test_layout_matches_fig1():
+    """Fig. 1: 64-bit major + 64 x 7-bit minors, exactly one line."""
+    assert MINOR_BITS == 7
+    assert MINORS == 64
+    assert C.MAJOR_COUNTER_BITS + MINORS * MINOR_BITS == 512
+
+
+def test_counter_uses_major_and_minor():
+    block = CMESplitCounterBlock(major=2)
+    block.minors[9] = 5
+    assert block.counter(9) == (2 << 7) | 5
+
+
+def test_increment_and_overflow():
+    block = CMESplitCounterBlock()
+    for _ in range(MINOR_MAX):
+        block.increment(0)
+    assert block.minors[0] == MINOR_MAX
+    result = block.increment(0)
+    assert result.minor_overflow
+    assert block.major == 1
+    assert block.minors == [0] * MINORS
+
+
+def test_counters_never_repeat_per_slot():
+    """The OTP-uniqueness property of Sec. II-B."""
+    block = CMESplitCounterBlock()
+    seen = set()
+    for _ in range(300):
+        block.increment(3)
+        counter = block.counter(3)
+        assert counter not in seen
+        seen.add(counter)
+
+
+def test_major_overflow_raises():
+    block = CMESplitCounterBlock(major=(1 << 64) - 1)
+    block.minors[0] = MINOR_MAX
+    with pytest.raises(CounterOverflowError):
+        block.increment(0)
+
+
+def test_pack_snapshot_roundtrip():
+    block = CMESplitCounterBlock(major=77)
+    block.minors[63] = 127
+    assert CMESplitCounterBlock.from_packed(block.to_packed()) == block
+    assert CMESplitCounterBlock.from_snapshot(block.snapshot()) == block
+    dup = block.copy()
+    dup.increment(0)
+    assert dup != block
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CMESplitCounterBlock(minors=[0] * 3)
+    with pytest.raises(CounterOverflowError):
+        CMESplitCounterBlock(minors=[128] + [0] * 63)
+    with pytest.raises(ValueError):
+        CMESplitCounterBlock.from_snapshot(("split", 0, ()))
+
+
+def test_cme_blocks_as_bmt_leaves():
+    """The background architecture of Sec. II-C: encrypted CME counter
+    blocks are the leaves the BMT hashes (Fig. 2)."""
+    engine = make_engine(0xF1)
+    geometry = TreeGeometry(num_data_blocks=64 * 64, leaf_coverage=64,
+                            root_arity=8)
+    bmt = BonsaiMerkleTree(geometry, engine)
+    blocks = {i: CMESplitCounterBlock() for i in range(4)}
+    for leaf, block in blocks.items():
+        for w in range(leaf + 1):
+            block.increment(w % MINORS)
+        bmt.update_leaf(leaf, block.to_packed())
+    for leaf, block in blocks.items():
+        bmt.verify_leaf(leaf)
+        restored = CMESplitCounterBlock.from_packed(bmt.leaf_payload(leaf))
+        assert restored == block
+    # tamper one packed counter: the BMT catches it
+    from repro.common.errors import TamperDetectedError
+    bmt.tamper_leaf(2, blocks[2].to_packed() ^ 1)
+    with pytest.raises(TamperDetectedError):
+        bmt.verify_leaf(2)

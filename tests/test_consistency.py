@@ -1,0 +1,105 @@
+"""The consistency-checker module, plus cross-scheme soak tests using it."""
+import pytest
+
+from repro.analysis.consistency import (
+    ConsistencyViolation,
+    check_all,
+    check_record_coverage,
+    check_steins_lincs,
+    check_steins_seals,
+    check_verification_closure,
+)
+from repro.baselines.asit import ASITController
+from repro.baselines.star import STARController
+from repro.baselines.wb import WBController
+from repro.common.config import CounterMode
+from repro.common.rng import make_rng
+from repro.core.controller import SteinsController
+from repro.nvm.layout import Region
+from tests.test_controller_base import make_rig
+
+ALL_CONTROLLERS = [WBController, ASITController, STARController,
+                   SteinsController]
+
+
+def churn(controller, n=400, span=6000, seed=91):
+    rng = make_rng(seed, "soak")
+    for addr in rng.integers(0, span, n):
+        controller.write_data(int(addr), int(addr) + 17)
+    for addr in rng.integers(0, span, n // 4):
+        controller.read_data(int(addr))
+
+
+@pytest.mark.parametrize("cls", ALL_CONTROLLERS)
+def test_verification_closure_after_churn(cls):
+    controller, _, _ = make_rig(CounterMode.GENERAL, cls, 1024)
+    churn(controller)
+    assert check_verification_closure(controller) > 0
+
+
+@pytest.mark.parametrize("cls", ALL_CONTROLLERS)
+def test_verification_closure_after_flush_all(cls):
+    controller, _, _ = make_rig(CounterMode.GENERAL, cls, 1024)
+    churn(controller)
+    controller.flush_all()
+    assert check_verification_closure(controller) > 0
+
+
+def test_steins_full_check(capfd):
+    controller, _, _ = make_rig(CounterMode.GENERAL, SteinsController, 2048)
+    churn(controller)
+    summary = check_all(controller)
+    assert summary["verification_closure"] > 0
+    assert summary["record_coverage"] >= 0
+    assert isinstance(summary["lincs"], list)
+
+
+def test_steins_split_full_check():
+    controller, _, _ = make_rig(CounterMode.SPLIT, SteinsController, 2048)
+    churn(controller, span=4000)
+    check_steins_lincs(controller)
+    check_record_coverage(controller)
+
+
+def test_checker_detects_tampered_seal():
+    controller, device, _ = make_rig(CounterMode.GENERAL,
+                                     SteinsController, 2048)
+    churn(controller, n=100)
+    controller.flush_all()
+    offset, snap = next(iter(device.populated(Region.TREE)))
+    from repro.integrity.node import SITNode
+    node = SITNode.from_snapshot(snap)
+    node.hmac ^= 1
+    device.poke(Region.TREE, offset, node.snapshot())
+    with pytest.raises(ConsistencyViolation):
+        check_steins_seals(controller)
+
+
+def test_checker_detects_corrupted_linc():
+    controller, _, _ = make_rig(CounterMode.GENERAL, SteinsController, 2048)
+    churn(controller, n=100)
+    controller.drain_buffer()
+    if controller.metacache.dirty_count() == 0:
+        controller.write_data(0, 1)
+    controller.lincs.add(0, 5)   # corrupt the register
+    with pytest.raises(ConsistencyViolation):
+        check_steins_lincs(controller)
+
+
+def test_checker_detects_missing_record():
+    controller, device, _ = make_rig(CounterMode.GENERAL,
+                                     SteinsController, 2048)
+    controller.write_data(0, 1)
+    controller.tracker.flush_on_crash()
+    controller.tracker.reset()   # wipe the records behind its back
+    with pytest.raises(ConsistencyViolation):
+        check_record_coverage(controller)
+
+
+def test_checkers_survive_crash_recovery_cycles():
+    controller, _, _ = make_rig(CounterMode.GENERAL, SteinsController, 2048)
+    for i in range(3):
+        churn(controller, n=150, seed=92 + i)
+        controller.crash()
+        controller.recover()
+        check_all(controller)

@@ -1,0 +1,57 @@
+"""Bit-budget and layout-constant invariants (paper Secs. II-B/C, III-C)."""
+from repro.common import constants as C
+
+
+def test_cache_line_is_64_bytes():
+    assert C.CACHE_LINE_BYTES == 64
+    assert C.CACHE_LINE_BITS == 512
+
+
+def test_general_node_fills_exactly_one_line():
+    bits = (C.GENERAL_COUNTERS_PER_NODE * C.GENERAL_COUNTER_BITS
+            + C.NODE_HMAC_BITS)
+    assert bits == C.CACHE_LINE_BITS
+
+
+def test_split_leaf_fills_exactly_one_line():
+    bits = (C.MAJOR_COUNTER_BITS
+            + C.MINORS_PER_SPLIT_BLOCK * C.MINOR_COUNTER_BITS
+            + C.NODE_HMAC_BITS)
+    assert bits == C.CACHE_LINE_BITS
+
+
+def test_sit_node_structure_matches_paper():
+    """Fig. 3: one 64-bit HMAC and eight 56-bit counters."""
+    assert C.GENERAL_COUNTERS_PER_NODE == 8
+    assert C.GENERAL_COUNTER_BITS == 56
+    assert C.NODE_HMAC_BITS == 64
+
+
+def test_split_counter_matches_paper():
+    """Sec. II-D: 64-bit major, 6-bit minors in the SIT split leaf."""
+    assert C.MAJOR_COUNTER_BITS == 64
+    assert C.MINOR_COUNTER_BITS == 6
+    assert C.MINORS_PER_SPLIT_BLOCK == 64
+    assert C.SPLIT_MAJOR_WEIGHT == 64
+    assert C.MINOR_COUNTER_MAX == 63
+
+
+def test_offset_record_constants():
+    """Sec. III-C: 4 B offsets, 16 per record line."""
+    assert C.OFFSET_RECORD_BYTES == 4
+    assert C.OFFSETS_PER_RECORD_LINE == 16
+    # 4-byte offsets cover up to 2^32 nodes x 64 B = 256 GB of metadata
+    assert (1 << (8 * C.OFFSET_RECORD_BYTES)) * 64 == 256 * (1 << 30)
+    assert C.OFFSET_EMPTY >= (1 << 32) - 1
+
+
+def test_linc_register_holds_eight_levels():
+    """Sec. III-D: a 64 B NV register stores all eight LIncs."""
+    assert C.LINC_REGISTER_BYTES == 64
+    assert C.MAX_LINC_LEVELS == 8
+
+
+def test_nv_buffer_size():
+    """Table I: 128 B non-volatile buffer."""
+    assert C.NV_BUFFER_BYTES == 128
+    assert C.NV_BUFFER_ENTRIES * C.NV_BUFFER_ENTRY_BYTES == 128

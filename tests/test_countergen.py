@@ -1,0 +1,60 @@
+"""Counter-generation scheme and overflow analysis (paper Sec. III-B)."""
+from repro.common import constants as C
+from repro.core.countergen import (
+    NAIVE_MAJOR_WEIGHT,
+    general_parent_counter,
+    generated_parent_counter,
+    naive_split_parent,
+    years_to_overflow,
+)
+from repro.counters import GeneralCounterBlock, OverflowPolicy, SplitCounterBlock
+from repro.integrity.node import SITNode
+
+
+def test_general_parent_is_sum():
+    block = GeneralCounterBlock([1, 2, 3, 4, 5, 6, 7, 8])
+    assert general_parent_counter(block) == 36
+    node = SITNode(1, 0, block)
+    assert generated_parent_counter(node) == 36
+
+
+def test_naive_weight_is_maximum_minor_sum():
+    assert NAIVE_MAJOR_WEIGHT == 64 * 64   # 2^6 * 64 minors
+
+
+def test_naive_vs_skip_growth():
+    """Sec. III-B.1: the naive scheme consumes counter range ~64x faster."""
+    naive = SplitCounterBlock(policy=OverflowPolicy.SKIP)
+    naive.major = 1000
+    assert naive_split_parent(naive) == 1000 * 4096
+    assert naive.gensum() == 1000 * 64
+    assert naive_split_parent(naive) / naive.gensum() == 64
+
+
+def test_overflow_estimates_match_paper():
+    """Sec. III-B.2: ~685 years traditional, >= ~342 years for Steins."""
+    estimates = {e.scheme: e for e in years_to_overflow()}
+    assert 600 < estimates["traditional"].years < 750
+    assert 300 < estimates["steins-skip"].years < 400
+    assert estimates["steins-skip"].years >= \
+        estimates["traditional"].years / 2 - 1
+    assert estimates["naive-weight"].years < \
+        estimates["steins-skip"].years / 10
+
+
+def test_overflow_writes_scale_with_counter_bits():
+    wide = years_to_overflow(counter_bits=64)
+    narrow = years_to_overflow(counter_bits=56)
+    assert wide[0].writes_to_overflow == narrow[0].writes_to_overflow * 256
+
+
+def test_gensum_counts_memory_writes():
+    """The generated counter tracks total covered writes (Sec. III-B.2)."""
+    block = GeneralCounterBlock()
+    for i in range(100):
+        block.increment(i % 8)
+    assert block.gensum() == 100
+    split = SplitCounterBlock(policy=OverflowPolicy.SKIP)
+    for i in range(60):
+        split.increment(i % C.MINORS_PER_SPLIT_BLOCK)
+    assert split.gensum() == 60

@@ -1,0 +1,174 @@
+"""General and split counter blocks (paper Sec. II-B, III-B)."""
+import pytest
+
+from repro.common import constants as C
+from repro.common.errors import CounterOverflowError
+from repro.counters import (
+    GeneralCounterBlock,
+    OverflowPolicy,
+    SplitCounterBlock,
+    block_from_snapshot,
+)
+
+
+class TestGeneral:
+    def test_initial_state(self):
+        b = GeneralCounterBlock()
+        assert b.counters == [0] * 8
+        assert b.gensum() == 0
+        assert b.coverage == 8
+
+    def test_increment_and_eq1(self):
+        b = GeneralCounterBlock()
+        b.increment(3)
+        b.increment(3)
+        b.increment(5)
+        # Eq. (1): parent = sum of the eight counters
+        assert b.gensum() == 3
+        assert b.counter(3) == 2
+
+    def test_increment_result_delta(self):
+        b = GeneralCounterBlock()
+        res = b.increment(0)
+        assert res.gensum_delta == 1
+        assert not res.minor_overflow and not res.major_overflow
+
+    def test_overflow_rejected(self):
+        b = GeneralCounterBlock()
+        b.set_counter(0, C.GENERAL_COUNTER_MAX)
+        with pytest.raises(CounterOverflowError):
+            b.increment(0)
+
+    def test_set_counter_validates(self):
+        b = GeneralCounterBlock()
+        with pytest.raises(CounterOverflowError):
+            b.set_counter(0, C.GENERAL_COUNTER_MAX + 1)
+
+    def test_snapshot_roundtrip(self):
+        b = GeneralCounterBlock([1, 2, 3, 4, 5, 6, 7, 8])
+        restored = GeneralCounterBlock.from_snapshot(b.snapshot())
+        assert restored == b
+        assert block_from_snapshot(b.snapshot()) == b
+
+    def test_snapshot_is_immutable_copy(self):
+        b = GeneralCounterBlock()
+        snap = b.snapshot()
+        b.increment(0)
+        assert GeneralCounterBlock.from_snapshot(snap).gensum() == 0
+
+    def test_packed_roundtrip(self):
+        b = GeneralCounterBlock([0, 1, 2**56 - 1, 3, 4, 5, 6, 7])
+        assert GeneralCounterBlock.from_packed(b.to_packed()) == b
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralCounterBlock([1, 2, 3])
+
+    def test_copy_is_independent(self):
+        b = GeneralCounterBlock()
+        c = b.copy()
+        c.increment(0)
+        assert b.gensum() == 0
+
+
+class TestSplit:
+    def test_initial_state(self):
+        b = SplitCounterBlock()
+        assert b.major == 0
+        assert b.gensum() == 0
+        assert b.coverage == 64
+
+    def test_counter_combines_major_and_minor(self):
+        b = SplitCounterBlock(major=3)
+        b.minors[5] = 7
+        assert b.counter(5) == (3 << 6) | 7
+
+    def test_eq2_gensum(self):
+        b = SplitCounterBlock(major=2)
+        b.minors[0] = 5
+        b.minors[1] = 1
+        # Eq. (2): parent = major * 2^6 + sum(minors)
+        assert b.gensum() == 2 * 64 + 6
+
+    def test_plain_overflow_policy(self):
+        b = SplitCounterBlock(policy=OverflowPolicy.PLAIN)
+        b.minors[9] = C.MINOR_COUNTER_MAX
+        res = b.increment(9)
+        assert res.minor_overflow
+        assert b.major == 1
+        assert b.minors == [0] * 64
+
+    def test_skip_update_keeps_gensum_monotone(self):
+        """Sec. III-B.1: the skip update aligns gensum upward."""
+        b = SplitCounterBlock(policy=OverflowPolicy.SKIP)
+        # load many minors so the plain policy would regress gensum
+        for i in range(40):
+            b.minors[i] = 60
+        b.minors[9] = C.MINOR_COUNTER_MAX
+        before = b.gensum()
+        res = b.increment(9)
+        assert res.minor_overflow
+        assert b.gensum() > before
+        assert res.gensum_delta == b.gensum() - before
+        # alignment: post-overflow gensum is a multiple of 64
+        assert b.gensum() % C.SPLIT_MAJOR_WEIGHT == 0
+
+    def test_plain_policy_can_regress_gensum(self):
+        """Why Steins cannot use the conventional split counter."""
+        b = SplitCounterBlock(policy=OverflowPolicy.PLAIN)
+        for i in range(40):
+            b.minors[i] = 60
+        b.minors[9] = C.MINOR_COUNTER_MAX
+        before = b.gensum()
+        b.increment(9)
+        assert b.gensum() < before
+
+    def test_skip_increment_is_ceil(self):
+        b = SplitCounterBlock(policy=OverflowPolicy.SKIP)
+        b.minors[0] = C.MINOR_COUNTER_MAX   # sum+1 = 64 -> inc = 1
+        b.increment(0)
+        assert b.major == 1
+        b2 = SplitCounterBlock(policy=OverflowPolicy.SKIP)
+        b2.minors[0] = C.MINOR_COUNTER_MAX
+        b2.minors[1] = 1                    # sum+1 = 65 -> inc = 2
+        b2.increment(0)
+        assert b2.major == 2
+
+    def test_major_overflow_raises(self):
+        b = SplitCounterBlock(major=(1 << 64) - 1,
+                              policy=OverflowPolicy.PLAIN)
+        b.minors[0] = C.MINOR_COUNTER_MAX
+        with pytest.raises(CounterOverflowError):
+            b.increment(0)
+
+    def test_snapshot_roundtrip_preserves_policy(self):
+        b = SplitCounterBlock(major=9, policy=OverflowPolicy.SKIP)
+        b.minors[3] = 4
+        restored = SplitCounterBlock.from_snapshot(b.snapshot())
+        assert restored == b
+        assert restored.policy is OverflowPolicy.SKIP
+
+    def test_packed_roundtrip(self):
+        b = SplitCounterBlock(major=123456789)
+        b.minors[63] = 63
+        restored = SplitCounterBlock.from_packed(b.to_packed())
+        assert restored == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SplitCounterBlock(minors=[0] * 10)
+        with pytest.raises(CounterOverflowError):
+            SplitCounterBlock(major=1 << 64)
+        with pytest.raises(CounterOverflowError):
+            SplitCounterBlock(minors=[64] + [0] * 63)
+
+
+def test_block_from_snapshot_dispatch():
+    g = GeneralCounterBlock()
+    s = SplitCounterBlock()
+    assert isinstance(block_from_snapshot(g.snapshot()), GeneralCounterBlock)
+    assert isinstance(block_from_snapshot(s.snapshot()), SplitCounterBlock)
+    with pytest.raises(ValueError):
+        block_from_snapshot(("bogus",))
+    with pytest.raises(ValueError):
+        block_from_snapshot(None)

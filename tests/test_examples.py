@@ -1,0 +1,55 @@
+"""The shipped examples must stay runnable (executed in-process)."""
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "power failure" in out
+    assert "nodes recovered" in out
+    assert "verified" in out
+
+
+def test_attack_detection(capsys):
+    run_example("attack_detection.py")
+    out = capsys.readouterr().out
+    assert out.count("[DETECTED]") == 5
+    assert "[HARMLESS]" in out
+    assert "SECURITY HOLE" not in out
+
+
+def test_scheme_comparison_small(capsys):
+    run_example("scheme_comparison.py", ["pers_swap", "2500"])
+    out = capsys.readouterr().out
+    assert "normalized to WB-GC" in out
+    assert "steins-sc" in out
+
+
+def test_multi_controller(capsys):
+    run_example("multi_controller.py")
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "parallel recovery" in out
+
+
+@pytest.mark.slow
+def test_recovery_sweep(capsys):
+    run_example("recovery_sweep.py")
+    out = capsys.readouterr().out
+    assert "0.3936" in out        # the paper's 4MB Steins-SC point
+    assert "ordering check" in out

@@ -1,0 +1,91 @@
+"""Three-level cache hierarchy: inclusion, writebacks, clwb."""
+from repro.common.config import CacheConfig, HierarchyConfig
+from repro.mem.hierarchy import CacheHierarchy, MemOp
+
+
+def tiny_hierarchy() -> CacheHierarchy:
+    return CacheHierarchy(HierarchyConfig(
+        l1=CacheConfig(2 * 64, 1),
+        l2=CacheConfig(4 * 64, 2),
+        l3=CacheConfig(8 * 64, 2),
+    ))
+
+
+def test_cold_miss_produces_memory_read():
+    h = tiny_hierarchy()
+    res = h.access(100, is_write=False)
+    assert [r.op for r in res.requests] == [MemOp.READ]
+    assert res.requests[0].line_addr == 100
+
+
+def test_hit_after_fill_is_free_of_requests():
+    h = tiny_hierarchy()
+    h.access(100, False)
+    res = h.access(100, False)
+    assert res.requests == []
+    assert res.cycles == h.cfg.l1_hit_cycles
+
+
+def test_l2_hit_latency():
+    h = tiny_hierarchy()
+    h.access(0, False)
+    # push 0 out of the 2-line direct-mapped L1 but keep it in L2
+    h.access(2, False)
+    h.access(4, False)
+    res = h.access(0, False)
+    assert res.cycles in (h.cfg.l2_hit_cycles, h.cfg.l3_hit_cycles)
+    assert res.requests == []
+
+
+def test_dirty_line_eventually_written_back():
+    h = tiny_hierarchy()
+    h.access(0, is_write=True)
+    writes = []
+    # stream enough distinct lines through to force 0 out of every level
+    for addr in range(1, 64):
+        res = h.access(addr, False)
+        writes += [r.line_addr for r in res.requests if r.op is MemOp.WRITE]
+    assert 0 in writes
+
+
+def test_clean_lines_never_written_back():
+    h = tiny_hierarchy()
+    for addr in range(64):
+        res = h.access(addr, False)
+        assert all(r.op is MemOp.READ for r in res.requests)
+
+
+def test_clwb_clears_dirtiness():
+    h = tiny_hierarchy()
+    h.access(0, is_write=True)
+    assert h.clwb(0)            # was dirty somewhere
+    assert not h.clwb(0)        # now clean
+    writes = []
+    for addr in range(1, 64):
+        res = h.access(addr, False)
+        writes += [r.line_addr for r in res.requests if r.op is MemOp.WRITE]
+    assert 0 not in writes      # no double writeback after clwb
+
+
+def test_flush_dirty_lists_all_levels():
+    h = tiny_hierarchy()
+    h.access(0, True)
+    h.access(2, True)
+    assert set(h.flush_dirty()) >= {0, 2}
+
+
+def test_clear_drops_everything():
+    h = tiny_hierarchy()
+    h.access(0, True)
+    h.clear()
+    res = h.access(0, False)
+    assert [r.op for r in res.requests] == [MemOp.READ]
+
+
+def test_write_allocates_line():
+    h = tiny_hierarchy()
+    res = h.access(7, is_write=True)
+    # write miss fills the line from memory (write-allocate)
+    assert MemOp.READ in [r.op for r in res.requests]
+    res2 = h.access(7, is_write=False)
+    assert res2.requests == []

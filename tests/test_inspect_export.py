@@ -1,0 +1,108 @@
+"""Tree inspection utilities and JSON result export."""
+import pytest
+
+from repro.analysis.export import (
+    export_figure,
+    export_results,
+    load_figure,
+    load_results,
+)
+from repro.common.config import CounterMode
+from repro.common.errors import ConfigError
+from repro.core.controller import SteinsController
+from repro.integrity.inspect import render_branch, tree_summary, view_node
+from repro.sim.runner import RunSpec, run_cell
+from tests.test_controller_base import make_rig
+
+
+class TestInspect:
+    def rig(self):
+        # roomy cache: the inspected leaves stay resident
+        controller, _, _ = make_rig(CounterMode.GENERAL,
+                                    SteinsController, 8192)
+        for addr in range(0, 128, 4):
+            controller.write_data(addr, addr)
+        return controller
+
+    def test_view_node_states(self):
+        controller = self.rig()
+        leaf = view_node(controller, 0, 0)
+        assert leaf.cached and leaf.dirty
+        assert leaf.location == "cache(dirty)"
+        assert leaf.cached_gensum > 0
+        untouched = view_node(controller, 0,
+                              controller.geometry.level_sizes[0] - 1)
+        assert untouched.location == "empty"
+        assert untouched.verifies
+
+    def test_view_persisted_node(self):
+        controller = self.rig()
+        controller.flush_all()
+        controller.metacache.clear()
+        v = view_node(controller, 0, 0)
+        assert v.location == "nvm"
+        assert v.persisted_gensum > 0
+        assert v.verifies
+
+    def test_render_branch(self):
+        controller = self.rig()
+        out = render_branch(controller, 0)
+        assert "root[" in out
+        assert "L0 idx 0" in out
+        assert "cache(dirty)" in out
+        assert "DOES NOT VERIFY" not in out
+
+    def test_render_branch_flags_corruption(self):
+        controller = self.rig()
+        controller.flush_all()
+        controller.metacache.clear()
+        from repro.attacks import AttackInjector
+        AttackInjector(controller.device).tamper_tree_counter(
+            controller.geometry.node_offset(0, 0))
+        out = render_branch(controller, 0)
+        assert "DOES NOT VERIFY" in out
+
+    def test_tree_summary(self):
+        controller = self.rig()
+        summary = tree_summary(controller)
+        assert summary["cached_nodes"] > 0
+        assert summary["dirty_nodes"] > 0
+        controller.flush_all()
+        summary2 = tree_summary(controller)
+        assert summary2["dirty_nodes"] == 0
+        assert summary2["persisted_nodes"] >= summary["persisted_nodes"]
+        assert summary2["persisted_level_0"] > 0
+
+
+class TestExport:
+    def test_results_roundtrip(self, tmp_path):
+        result = run_cell(RunSpec("wb-gc", "pers_hash", accesses=800,
+                                  footprint_blocks=1024))
+        path = tmp_path / "r.json"
+        export_results(path, [result], context={"purpose": "test"})
+        rows, context = load_results(path)
+        assert context["purpose"] == "test"
+        assert rows[0]["scheme"] == "wb"
+        assert rows[0]["data_writes"] == result.data_writes
+
+    def test_figure_roundtrip(self, tmp_path):
+        rows = {"lbm_r": {"asit": 2.0, "steins-gc": 1.05}}
+        path = tmp_path / "fig.json"
+        export_figure(path, "fig13", rows, baseline_note="vs WB-GC")
+        name, loaded = load_figure(path)
+        assert name == "fig13"
+        assert loaded == rows
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_results(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        with pytest.raises(ConfigError):
+            load_results(bad)
+        bad.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_figure(bad)
+        bad.write_text("{}")
+        with pytest.raises(ConfigError):
+            load_figure(bad)

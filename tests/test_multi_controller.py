@@ -1,0 +1,83 @@
+"""Multi-controller scalability model (paper Sec. IV-F)."""
+import pytest
+
+from repro.common.config import small_config
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.sim.multi import MultiControllerSystem
+
+
+def make_multi(n=2, scheme="steins"):
+    return MultiControllerSystem(scheme, small_config(),
+                                 num_controllers=n)
+
+
+def test_sharding_is_a_partition():
+    multi = make_multi(3)
+    for addr in range(300):
+        assert 0 <= multi.shard_of(addr) < 3
+    # round-robin: consecutive addresses land on different controllers
+    assert {multi.shard_of(a) for a in range(3)} == {0, 1, 2}
+
+
+def test_roundtrip_across_shards():
+    multi = make_multi(2)
+    rng = make_rng(81, "multi")
+    for addr in rng.integers(0, 4000, 400):
+        multi.store(int(addr), flush=True)
+    assert multi.verify_all_persisted() > 0
+
+
+def test_crash_recover_all_controllers():
+    multi = make_multi(2)
+    rng = make_rng(82, "multi-crash")
+    for addr in rng.integers(0, 4000, 400):
+        multi.store(int(addr), flush=True)
+    multi.crash()
+    reports = multi.recover()
+    assert len(reports) == 2
+    assert all(r.scheme == "steins" for r in reports)
+    multi.verify_all_persisted()
+
+
+def test_disjoint_clients_scale():
+    """Sec. IV-F: requests to different DIMMs execute in parallel."""
+    single = make_multi(1)
+    quad = make_multi(4)
+    rng = make_rng(83, "scale")
+    addrs = [int(a) for a in rng.integers(0, 8000, 600)]
+    for addr in addrs:
+        single.store(addr, flush=True)
+        quad.store(addr, flush=True)
+    r1, r4 = single.result(), quad.result()
+    # the same work spread over 4 MCs finishes much sooner
+    assert r4.exec_time_ns < r1.exec_time_ns
+    assert r4.parallel_speedup > 1.5
+    assert r1.parallel_speedup == pytest.approx(1.0)
+
+
+def test_colliding_clients_serialize():
+    """Requests to one DIMM are processed serially by its controller."""
+    multi = make_multi(4)
+    # every access hits shard 0 (addresses = multiples of 4)
+    for i in range(200):
+        multi.store(4 * (i % 50), flush=True)
+    result = multi.result()
+    # only one controller did work: no parallelism to claim
+    assert result.parallel_speedup < 1.2
+
+
+def test_invalid_controller_count():
+    with pytest.raises(ConfigError):
+        make_multi(0)
+
+
+def test_traffic_and_energy_aggregate():
+    multi = make_multi(2)
+    for addr in range(64):
+        multi.store(addr, flush=True)
+    result = multi.result()
+    per_shard = [s.device.stats.total_writes for s in multi.shards]
+    assert result.nvm_write_traffic == sum(per_shard)
+    assert all(w > 0 for w in per_shard)   # both shards saw writes
+    assert result.energy_nj > 0

@@ -1,0 +1,144 @@
+"""SIT nodes, root register, and verification (paper Sec. II-C, Fig. 3)."""
+import pytest
+
+from repro.common.errors import TamperDetectedError
+from repro.counters import GeneralCounterBlock, SplitCounterBlock
+from repro.crypto.engine import make_engine
+from repro.integrity.geometry import TreeGeometry
+from repro.integrity.node import SITNode, make_empty_node
+from repro.integrity.sit import SITRoot, verify_against_root, verify_node
+
+ENGINE = make_engine(0x1234)
+
+
+def make_node(level=1, index=5) -> SITNode:
+    node = SITNode(level, index, GeneralCounterBlock([1, 2, 3, 4, 5, 6, 7, 8]))
+    node.seal(ENGINE, parent_counter=36)
+    return node
+
+
+def test_seal_and_verify():
+    node = make_node()
+    verify_node(ENGINE, node, 36)   # no exception
+
+
+def test_wrong_parent_counter_detected():
+    node = make_node()
+    with pytest.raises(TamperDetectedError):
+        verify_node(ENGINE, node, 35)
+
+
+def test_tampered_counter_detected():
+    node = make_node()
+    node.block.counters[0] += 1
+    with pytest.raises(TamperDetectedError):
+        verify_node(ENGINE, node, 36)
+
+
+def test_hmac_binds_identity():
+    a = make_node(level=1, index=5)
+    b = SITNode(1, 6, GeneralCounterBlock([1, 2, 3, 4, 5, 6, 7, 8]))
+    b.seal(ENGINE, 36)
+    assert a.hmac != b.hmac   # same content, different address
+
+
+def test_snapshot_roundtrip():
+    node = make_node()
+    restored = SITNode.from_snapshot(node.snapshot())
+    assert restored.level == node.level
+    assert restored.index == node.index
+    assert restored.hmac == node.hmac
+    assert restored.block == node.block
+
+
+def test_snapshot_echo_extension():
+    node = make_node()
+    snap = node.snapshot() + (777,)
+    assert SITNode.snapshot_echo(snap) == 777
+    assert SITNode.snapshot_echo(node.snapshot()) is None
+    assert SITNode.from_snapshot(snap).hmac == node.hmac
+
+
+def test_bad_snapshot_rejected():
+    with pytest.raises(ValueError):
+        SITNode.from_snapshot(("not-a-node", 0, 0, None, 0))
+
+
+def test_copy_independent():
+    node = make_node()
+    dup = node.copy()
+    dup.block.counters[0] = 99
+    assert node.block.counters[0] == 1
+
+
+def test_gensum_delegation():
+    node = make_node()
+    assert node.gensum() == 36
+    assert node.counter(2) == 3
+    assert not node.is_leaf
+
+
+def test_empty_node_verifies_under_zero():
+    for split in (False, True):
+        node = make_empty_node(0, 7, leaf_split=split, engine=ENGINE)
+        verify_node(ENGINE, node, 0)
+        assert node.gensum() == 0
+        if split:
+            assert isinstance(node.block, SplitCounterBlock)
+        else:
+            assert isinstance(node.block, GeneralCounterBlock)
+
+
+def test_empty_node_is_deterministic():
+    a = make_empty_node(2, 3, False, ENGINE)
+    b = make_empty_node(2, 3, False, ENGINE)
+    assert a.hmac == b.hmac
+
+
+class TestRoot:
+    def geometry(self):
+        return TreeGeometry(num_data_blocks=4096, leaf_coverage=8,
+                            root_arity=8)
+
+    def test_counters_start_zero(self):
+        root = SITRoot(self.geometry())
+        assert all(c == 0 for c in root.counters)
+
+    def test_set_add_get(self):
+        root = SITRoot(self.geometry())
+        root.set_counter(2, 10)
+        root.add(2, 5)
+        assert root.counter(2) == 15
+
+    def test_negative_rejected(self):
+        root = SITRoot(self.geometry())
+        with pytest.raises(ValueError):
+            root.set_counter(0, -1)
+
+    def test_snapshot_restore(self):
+        root = SITRoot(self.geometry())
+        root.set_counter(1, 7)
+        snap = root.snapshot()
+        root.set_counter(1, 9)
+        root.restore(snap)
+        assert root.counter(1) == 7
+
+    def test_verify_against_root(self):
+        g = self.geometry()
+        root = SITRoot(g)
+        node = SITNode(g.top_level, 3, GeneralCounterBlock())
+        node.block.set_counter(0, 4)
+        node.seal(ENGINE, parent_counter=4)
+        root.set_counter(3, 4)
+        verify_against_root(ENGINE, root, node)
+        root.set_counter(3, 5)
+        with pytest.raises(TamperDetectedError):
+            verify_against_root(ENGINE, root, node)
+
+    def test_verify_against_root_level_check(self):
+        g = self.geometry()
+        root = SITRoot(g)
+        node = SITNode(0, 0, GeneralCounterBlock())
+        if g.top_level != 0:
+            with pytest.raises(ValueError):
+                verify_against_root(ENGINE, root, node)

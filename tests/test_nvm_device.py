@@ -1,0 +1,115 @@
+"""NVM device model: persistence, statistics, immutability, regions."""
+import pytest
+
+from repro.common.errors import LayoutError
+from repro.nvm.device import NVMDevice
+from repro.nvm.layout import Region, build_layout
+
+
+@pytest.fixture
+def device():
+    return NVMDevice(build_layout(data_lines=1024, tree_lines=256,
+                                  metadata_cache_lines=64,
+                                  shadow_lines=64, bitmap_lines=8))
+
+
+def test_read_write_roundtrip(device):
+    device.write(Region.DATA, 5, ("data", 123, 456, 1))
+    assert device.read(Region.DATA, 5) == ("data", 123, 456, 1)
+
+
+def test_unwritten_reads_default(device):
+    assert device.read(Region.DATA, 7) is None
+    assert device.read(Region.TREE, 0, default="empty") == "empty"
+
+
+def test_stats_count_per_region(device):
+    device.write(Region.DATA, 0, 1)
+    device.write(Region.TREE, 0, 2)
+    device.write(Region.TREE, 1, 3)
+    device.read(Region.TREE, 0)
+    assert device.stats.writes[Region.DATA] == 1
+    assert device.stats.writes[Region.TREE] == 2
+    assert device.stats.reads[Region.TREE] == 1
+    assert device.stats.total_writes == 3
+    assert device.stats.total_reads == 1
+    snap = device.stats.snapshot()
+    assert snap["write_tree"] == 2
+    assert snap["total_reads"] == 1
+
+
+def test_peek_poke_bypass_stats(device):
+    device.poke(Region.DATA, 3, 99)
+    assert device.peek(Region.DATA, 3) == 99
+    assert device.stats.total_writes == 0
+    assert device.stats.total_reads == 0
+
+
+def test_out_of_range_rejected(device):
+    with pytest.raises(LayoutError):
+        device.read(Region.DATA, 1024)
+    with pytest.raises(LayoutError):
+        device.write(Region.TREE, -1, 0)
+    with pytest.raises(LayoutError):
+        device.poke(Region.BITMAP, 99, 0)
+
+
+def test_mutable_values_rejected(device):
+    with pytest.raises(TypeError):
+        device.write(Region.DATA, 0, [1, 2, 3])
+    with pytest.raises(TypeError):
+        device.write(Region.DATA, 0, {"a": 1})
+
+
+def test_contents_survive_crash(device):
+    device.write(Region.DATA, 1, 42)
+    device.crash()
+    assert device.read(Region.DATA, 1) == 42
+
+
+def test_clone_restore_roundtrip(device):
+    device.write(Region.DATA, 1, 11)
+    snap = device.clone_store()
+    device.write(Region.DATA, 1, 22)
+    device.restore_store(snap)
+    assert device.peek(Region.DATA, 1) == 11
+
+
+def test_populated_iteration(device):
+    device.poke(Region.TREE, 3, "a")
+    device.poke(Region.TREE, 7, "b")
+    device.poke(Region.DATA, 1, "c")
+    assert dict(device.populated(Region.TREE)) == {3: "a", 7: "b"}
+    assert device.populated_count(Region.TREE) == 2
+
+
+def test_occupancy(device):
+    assert device.occupancy_bytes() == 0
+    device.poke(Region.DATA, 0, 1)
+    assert device.occupancy_bytes() == 64
+    assert len(device) == 1
+
+
+def test_layout_region_math():
+    layout = build_layout(data_lines=1024, tree_lines=256,
+                          metadata_cache_lines=64)
+    # 64 cache lines -> 64 records -> 4 record lines of 16 entries
+    assert layout.record_lines == 4
+    assert layout.data_mac_lines == 128
+    assert layout.region_bytes(Region.TREE) == 256 * 64
+    # flat addressing: regions do not overlap
+    ends = []
+    base = 0
+    for region in Region:
+        assert layout.region_base(region) == base
+        base += layout.region_lines(region)
+        ends.append(base)
+    assert sorted(ends) == ends
+
+
+def test_global_line_checks_range():
+    layout = build_layout(data_lines=10, tree_lines=10,
+                          metadata_cache_lines=16)
+    assert layout.global_line(Region.DATA, 0) == 0
+    with pytest.raises(LayoutError):
+        layout.global_line(Region.DATA, 10)

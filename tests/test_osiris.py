@@ -1,0 +1,132 @@
+"""Osiris-style leaf recovery (paper Sec. V alternative)."""
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import ConfigError, CounterMode, small_config
+from repro.common.errors import TamperDetectedError
+from repro.common.rng import make_rng
+from repro.core.controller import SteinsController
+from repro.nvm.device import NVMDevice
+from repro.nvm.energy import EnergyMeter
+from repro.nvm.layout import Region
+from repro.sim.clock import MemClock
+from repro.sim.system import make_layout
+from tests.test_steins_controller import assert_linc_invariant
+
+
+def osiris_rig(stop_loss=4, cache_bytes=2048):
+    cfg = small_config(metadata_cache_bytes=cache_bytes)
+    cfg = replace(cfg, security=replace(
+        cfg.security, leaf_recovery="osiris",
+        osiris_stop_loss=stop_loss))
+    device = NVMDevice(make_layout(cfg))
+    clock = MemClock(cfg, device, EnergyMeter(cfg.energy))
+    return SteinsController(cfg, device, clock), device, clock
+
+
+def test_config_rejects_osiris_with_split_counters():
+    cfg = small_config(CounterMode.SPLIT)
+    with pytest.raises(ConfigError, match="Osiris"):
+        replace(cfg.security, leaf_recovery="osiris")
+
+
+def test_config_rejects_unknown_strategy():
+    cfg = small_config()
+    with pytest.raises(ConfigError):
+        replace(cfg.security, leaf_recovery="bogus")
+    with pytest.raises(ConfigError):
+        replace(cfg.security, leaf_recovery="osiris", osiris_stop_loss=0)
+
+
+def test_stop_loss_bounds_drift():
+    controller, device, _ = osiris_rig(stop_loss=3)
+    for i in range(10):
+        controller.write_data(0, i)
+    # after every 3rd increment the leaf was persisted
+    assert controller.stats.extra.get("osiris_stop_loss_writes", 0) >= 3
+    leaf_offset = controller.geometry.node_offset(0, 0)
+    from repro.integrity.node import SITNode
+    stale = SITNode.from_snapshot(device.peek(Region.TREE, leaf_offset))
+    cached = controller.metacache.peek(leaf_offset)
+    assert cached.gensum() - stale.gensum() < 3
+
+
+def test_recovery_without_echoes():
+    controller, _, _ = osiris_rig()
+    rng = make_rng(71, "osiris")
+    written = {}
+    for addr in rng.integers(0, 2000, 250):
+        controller.write_data(int(addr), int(addr) * 5 + 1)
+        written[int(addr)] = int(addr) * 5 + 1
+    controller.crash()
+    report = controller.recover()
+    assert report.detail.get("osiris_trials", 0) > 0
+    for addr, value in written.items():
+        assert controller.read_data(addr) == value
+    assert_linc_invariant(controller)
+
+
+def test_recovery_detects_tampered_data():
+    controller, device, _ = osiris_rig()
+    controller.write_data(5, 99)
+    controller.write_data(6, 98)   # keep the leaf dirty
+    controller.crash()
+    tag, cipher, hmac, echo = device.peek(Region.DATA, 5)
+    device.poke(Region.DATA, 5, (tag, cipher ^ 1, hmac, echo))
+    with pytest.raises(TamperDetectedError, match="stop-loss|tamper"):
+        controller.recover()
+
+
+def test_recovery_detects_replayed_data():
+    """A replayed data version outside the stop-loss window cannot
+    verify; inside the window it yields a smaller counter and trips the
+    L0Inc check."""
+    from repro.attacks import AttackInjector
+    controller, device, _ = osiris_rig(stop_loss=8)
+    injector = AttackInjector(device)
+    controller.write_data(5, 1)
+    injector.record(Region.DATA, 5)
+    controller.write_data(5, 2)    # counter advances, leaf still dirty
+    controller.crash()
+    injector.replay(Region.DATA, 5)
+    from repro.common.errors import IntegrityError
+    with pytest.raises(IntegrityError):
+        controller.recover()
+
+
+def test_osiris_runtime_write_amplification():
+    """The trade-off: Osiris persists leaves every N writes."""
+    from tests.test_steins_controller import steins_rig
+
+    echo_ctrl, echo_dev, _ = steins_rig(cache_bytes=2048)
+    osiris_ctrl, osiris_dev, _ = osiris_rig(stop_loss=4)
+    rng = make_rng(72, "amp")
+    addrs = [int(a) for a in rng.integers(0, 64, 300)]  # hot leaves
+    for addr in addrs:
+        echo_ctrl.write_data(addr, 1)
+        osiris_ctrl.write_data(addr, 1)
+    assert osiris_dev.stats.writes[Region.TREE] > \
+        echo_dev.stats.writes[Region.TREE]
+
+
+def test_recover_counter_window():
+    from repro.baselines.report import RecoveryReport
+    from repro.core import osiris
+    from repro.crypto import cme
+    from repro.crypto.engine import make_engine
+
+    engine = make_engine(0xAB)
+    plaintext = 777
+    counter = 6
+    cipher = cme.encrypt_block(engine, 9, counter, plaintext)
+    hmac = cme.data_hmac(engine, 9, counter, plaintext)
+    value = ("data", cipher, hmac, counter)
+    report = RecoveryReport("steins")
+    found = osiris.recover_counter(engine, 9, value, stale_counter=3,
+                                   stop_loss=4, report=report)
+    assert found == 6
+    assert report.detail["osiris_trials"] == 4
+    with pytest.raises(TamperDetectedError):
+        osiris.recover_counter(engine, 9, value, stale_counter=3,
+                               stop_loss=2, report=report)

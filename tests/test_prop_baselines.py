@@ -1,0 +1,64 @@
+"""Property-based end-to-end tests of ASIT and STAR (hypothesis).
+
+Random operation sequences — writes, reads, crash+recover — must keep
+data round-tripping and the verification closure intact, mirroring the
+Steins property suite so every recoverable scheme gets the same
+adversarial treatment.
+"""
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.consistency import check_verification_closure
+from repro.baselines.asit import ASITController
+from repro.baselines.star import STARController
+from repro.common.config import CounterMode
+from tests.test_controller_base import make_rig
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 1200),
+                  st.integers(0, 1 << 32)),
+        st.tuples(st.just("read"), st.integers(0, 1200), st.just(0)),
+        st.tuples(st.just("crash"), st.just(0), st.just(0)),
+    ),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops, st.sampled_from([ASITController, STARController]))
+def test_random_ops_preserve_data_and_closure(sequence, cls):
+    controller, _, _ = make_rig(CounterMode.GENERAL, cls,
+                                metadata_cache_bytes=1024)
+    shadow: dict[int, int] = {}
+    for op, addr, value in sequence:
+        if op == "write":
+            controller.write_data(addr, value)
+            shadow[addr] = value
+        elif op == "read":
+            assert controller.read_data(addr) == shadow.get(addr, 0)
+        else:
+            controller.crash()
+            controller.recover()
+    check_verification_closure(controller)
+    for addr, value in shadow.items():
+        assert controller.read_data(addr) == value
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.integers(0, 3000), min_size=10, max_size=100),
+       st.integers(1, 8),
+       st.sampled_from([ASITController, STARController]))
+def test_periodic_crashes(addrs, period, cls):
+    controller, _, _ = make_rig(CounterMode.GENERAL, cls,
+                                metadata_cache_bytes=1024)
+    shadow = {}
+    for i, addr in enumerate(addrs):
+        controller.write_data(addr, i + 1)
+        shadow[addr] = i + 1
+        if i % period == period - 1:
+            controller.crash()
+            controller.recover()
+    for addr, value in shadow.items():
+        assert controller.read_data(addr) == value

@@ -1,0 +1,106 @@
+"""Property-based tests of the counter blocks (hypothesis).
+
+The core safety property of Steins' counter generation (Sec. III-B):
+under ANY write sequence, the generated parent counter is strictly
+monotone for every increment — including across minor-counter overflows
+with the skip update.
+"""
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import constants as C
+from repro.counters import GeneralCounterBlock, OverflowPolicy, SplitCounterBlock
+
+slots_general = st.lists(st.integers(0, 7), min_size=1, max_size=200)
+slots_split = st.lists(st.integers(0, 63), min_size=1, max_size=400)
+
+
+@given(slots_general)
+def test_general_gensum_strictly_monotone(writes):
+    block = GeneralCounterBlock()
+    prev = block.gensum()
+    for slot in writes:
+        result = block.increment(slot)
+        assert block.gensum() == prev + result.gensum_delta
+        assert block.gensum() > prev
+        prev = block.gensum()
+
+
+@given(slots_general)
+def test_general_gensum_counts_writes(writes):
+    block = GeneralCounterBlock()
+    for slot in writes:
+        block.increment(slot)
+    assert block.gensum() == len(writes)
+
+
+@settings(max_examples=60)
+@given(slots_split)
+def test_split_skip_gensum_strictly_monotone(writes):
+    """The paper's central monotonicity claim for Eq. (2)."""
+    block = SplitCounterBlock(policy=OverflowPolicy.SKIP)
+    prev = block.gensum()
+    for slot in writes:
+        result = block.increment(slot)
+        assert block.gensum() > prev
+        assert block.gensum() - prev == result.gensum_delta
+        if result.minor_overflow:
+            # skip update aligns upward to a multiple of 2^6
+            assert block.gensum() % C.SPLIT_MAJOR_WEIGHT == 0
+        prev = block.gensum()
+
+
+@settings(max_examples=60)
+@given(slots_split)
+def test_split_encryption_counters_never_repeat(writes):
+    """CME safety: the (major, minor) pair used to encrypt a block never
+    repeats across that block's writes (OTP uniqueness, Sec. II-B)."""
+    block = SplitCounterBlock(policy=OverflowPolicy.SKIP)
+    seen: dict[int, set[int]] = {}
+    for slot in writes:
+        block.increment(slot)
+        counter = block.counter(slot)
+        assert counter not in seen.setdefault(slot, set())
+        seen[slot].add(counter)
+
+
+@settings(max_examples=60)
+@given(slots_split)
+def test_split_skip_at_most_doubles_counter_use(writes):
+    """Sec. III-B.2: the skip update consumes at most 2x the counter
+    range of the write count (hence >= ~342 years to overflow)."""
+    block = SplitCounterBlock(policy=OverflowPolicy.SKIP)
+    for slot in writes:
+        block.increment(slot)
+    assert block.gensum() <= 2 * len(writes) + C.SPLIT_MAJOR_WEIGHT
+
+
+@given(st.lists(st.integers(0, 7), min_size=0, max_size=50))
+def test_general_pack_roundtrip(writes):
+    block = GeneralCounterBlock()
+    for slot in writes:
+        block.increment(slot)
+    assert GeneralCounterBlock.from_packed(block.to_packed()) == block
+    assert GeneralCounterBlock.from_snapshot(block.snapshot()) == block
+
+
+@settings(max_examples=40)
+@given(st.integers(0, (1 << 64) - 1),
+       st.lists(st.integers(0, 63), min_size=64, max_size=64))
+def test_split_pack_roundtrip(major, minors):
+    block = SplitCounterBlock(major, minors)
+    assert SplitCounterBlock.from_packed(block.to_packed()) == block
+    assert SplitCounterBlock.from_snapshot(block.snapshot()) == block
+
+
+@settings(max_examples=40)
+@given(slots_split)
+def test_plain_vs_skip_major_never_smaller(writes):
+    """The skip-updated major always dominates the plain one, so skip
+    never under-counts relative to the conventional scheme."""
+    plain = SplitCounterBlock(policy=OverflowPolicy.PLAIN)
+    skip = SplitCounterBlock(policy=OverflowPolicy.SKIP)
+    for slot in writes:
+        plain.increment(slot)
+        skip.increment(slot)
+    assert skip.major >= plain.major

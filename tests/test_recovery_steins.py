@@ -1,0 +1,187 @@
+"""Steins crash recovery (paper Sec. III-G, Fig. 8).
+
+Golden rule under test: recovery restores every pre-crash dirty node
+bit-exactly, marked dirty, with consistent LIncs — "Steins just recovers
+the SIT nodes to the state before crashes".
+"""
+import pytest
+
+from repro.common.config import CounterMode
+from repro.common.rng import make_rng
+from repro.core.controller import SteinsController
+from repro.core.nvbuffer import BufferedUpdate
+from repro.integrity.node import SITNode
+from repro.nvm.layout import Region
+from tests.test_controller_base import make_rig
+from tests.test_steins_controller import assert_linc_invariant, steins_rig
+
+
+def run_and_crash(controller, n_writes=300, span=4000, seed=21):
+    rng = make_rng(seed, "crashwl")
+    written = {}
+    for addr in rng.integers(0, span, n_writes):
+        value = int(addr) * 31 + 7
+        controller.write_data(int(addr), value)
+        written[int(addr)] = value
+    golden = {off: node.snapshot()
+              for off, node in controller.metacache.dirty_entries()}
+    controller.crash()
+    return written, golden
+
+
+@pytest.mark.parametrize("mode", [CounterMode.GENERAL, CounterMode.SPLIT])
+def test_recover_restores_dirty_nodes_exactly(mode):
+    controller, _, _ = steins_rig(mode, cache_bytes=2048)
+    written, golden = run_and_crash(controller)
+    report = controller.recover()
+    assert report.nodes_recovered >= len(golden)
+    for offset, snap in golden.items():
+        from repro.sim.crash import counters_dominate
+        node = controller.metacache.peek(offset)
+        if node is not None:
+            # reinstall evictions of children may have advanced ancestors
+            assert controller.metacache.is_dirty(offset)
+            assert counters_dominate(node.snapshot(), snap)
+        else:
+            # reinstall pressure may flush a recovered node back out; its
+            # later flushes only advance counters (monotonicity)
+            found = controller.device.peek(Region.TREE, offset)
+            assert found is not None, f"offset {offset} lost"
+            assert counters_dominate(found, snap)
+
+
+@pytest.mark.parametrize("mode", [CounterMode.GENERAL, CounterMode.SPLIT])
+def test_data_readable_after_recovery(mode):
+    controller, _, _ = steins_rig(mode, cache_bytes=2048)
+    written, _ = run_and_crash(controller)
+    controller.recover()
+    for addr, value in written.items():
+        assert controller.read_data(addr) == value
+
+
+def test_lincs_consistent_after_recovery():
+    controller, _, _ = steins_rig(cache_bytes=2048)
+    run_and_crash(controller)
+    controller.recover()
+    assert_linc_invariant(controller)
+
+
+def test_system_usable_after_recovery():
+    controller, _, _ = steins_rig(cache_bytes=2048)
+    written, _ = run_and_crash(controller)
+    controller.recover()
+    # keep working: more writes, reads, a flush, and a second crash cycle
+    for addr in range(100, 164):
+        controller.write_data(addr, addr + 5)
+        written[addr] = addr + 5
+    controller.crash()
+    controller.recover()
+    for addr, value in written.items():
+        assert controller.read_data(addr) == value
+
+
+def test_recovery_with_pending_nv_buffer():
+    """Fig. 8 step 5: buffered parent updates are replayed at recovery."""
+    controller, _, _ = steins_rig(cache_bytes=1024)
+    rng = make_rng(23, "bufcrash")
+    written = {}
+    hits = 0
+    for addr in rng.integers(0, 8000, 500):
+        controller.write_data(int(addr), int(addr) + 1)
+        written[int(addr)] = int(addr) + 1
+        if len(controller.nv_buffer) > 0:
+            hits += 1
+    # the workload must actually exercise the buffer for this test
+    assert hits > 0
+    # crash at a moment with pending entries if possible
+    controller.crash()
+    report = controller.recover()
+    assert_linc_invariant(controller)
+    for addr, value in written.items():
+        assert controller.read_data(addr) == value
+
+
+def test_recovery_with_forced_pending_entry():
+    """Deterministic pending-buffer crash: evict a dirty leaf whose
+    parent is uncached, then crash before any drain."""
+    controller, device, _ = steins_rig(cache_bytes=1024)
+    controller.write_data(0, 42)
+    # flush everything, clear cache so parents are uncached
+    controller.flush_all()
+    controller.metacache.clear()
+    # dirty one leaf then force its eviction via _install machinery;
+    # drop its (clean) ancestors from the cache so the parent is uncached
+    controller.write_data(0, 43)
+    leaf_offset = controller.geometry.node_offset(0, 0)
+    node = controller.metacache.peek(leaf_offset)
+    controller.metacache.remove(leaf_offset)
+    for ancestor in controller.geometry.branch(0)[1:]:
+        controller.metacache.remove(
+            controller.geometry.node_offset(*ancestor))
+    controller._flush_dirty_node(node)   # parent uncached -> buffered
+    assert len(controller.nv_buffer) == 1
+    controller.crash()
+    report = controller.recover()
+    assert report.detail.get("buffer_replays", 0) == 1
+    assert controller.read_data(0) == 43
+    assert_linc_invariant(controller)
+
+
+def test_clean_nodes_in_records_are_harmless():
+    """Sec. III-H: stale records naming clean nodes do not break
+    recovery (their computed increment is zero)."""
+    controller, device, _ = steins_rig(cache_bytes=2048)
+    written, golden = run_and_crash(controller, n_writes=30, span=240)
+    # forge extra records pointing at clean persisted nodes
+    from repro.attacks import AttackInjector
+    injector = AttackInjector(device)
+    clean_offsets = [off for off, _ in device.populated(Region.TREE)
+                     if off not in golden][:3]
+    for off in clean_offsets:
+        injector.forge_offset_record(off)
+    controller.recover()
+    for addr, value in written.items():
+        assert controller.read_data(addr) == value
+
+
+def test_empty_crash_recovers_trivially():
+    controller, _, _ = steins_rig()
+    controller.crash()
+    report = controller.recover()
+    assert report.nodes_recovered == 0
+    controller.write_data(1, 2)
+    assert controller.read_data(1) == 2
+
+
+def test_double_recover_rejected():
+    controller, _, _ = steins_rig()
+    controller.write_data(0, 1)
+    controller.crash()
+    controller.recover()
+    from repro.common.errors import RecoveryError
+    with pytest.raises(RecoveryError):
+        controller.recover()
+
+
+def test_recovery_reads_scale_with_dirty_count():
+    small, _, _ = steins_rig(cache_bytes=2048)
+    run_and_crash(small, n_writes=50, span=400, seed=1)
+    r_small = small.recover()
+    big, _, _ = steins_rig(cache_bytes=2048)
+    run_and_crash(big, n_writes=400, span=3200, seed=1)
+    r_big = big.recover()
+    assert r_big.nvm_reads > r_small.nvm_reads
+    assert r_big.time_s > r_small.time_s
+
+
+def test_small_dirty_set_recovers_bit_exactly():
+    """With a dirty set far below capacity, reinstall never evicts and
+    the recovered cache state is bit-identical to the golden snapshot."""
+    controller, _, _ = steins_rig(cache_bytes=8 * 1024)
+    written, golden = run_and_crash(controller, n_writes=40, span=128)
+    controller.recover()
+    for offset, snap in golden.items():
+        node = controller.metacache.peek(offset)
+        assert node is not None
+        assert controller.metacache.is_dirty(offset)
+        assert node.snapshot()[1:4] == snap[1:4]

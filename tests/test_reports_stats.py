@@ -1,0 +1,79 @@
+"""RecoveryReport accounting and RunResult statistics helpers."""
+import pytest
+
+from repro.baselines.report import READ_VERIFY_NS, RecoveryReport
+from repro.sim.stats import RunResult, geometric_mean
+
+
+class TestRecoveryReport:
+    def test_time_follows_paper_methodology(self):
+        """Sec. IV-D: 100 ns per metadata read-and-verify."""
+        assert READ_VERIFY_NS == 100.0
+        report = RecoveryReport("steins")
+        report.read(650)
+        assert report.time_ns == pytest.approx(65_000.0)
+        assert report.time_s == pytest.approx(65e-6)
+
+    def test_counters_accumulate(self):
+        report = RecoveryReport("asit")
+        report.read(3)
+        report.write(2)
+        report.hash(5)
+        report.bump("extra", 4)
+        report.bump("extra")
+        d = report.as_dict()
+        assert d["nvm_reads"] == 3
+        assert d["nvm_writes"] == 2
+        assert d["hashes"] == 5
+        assert d["extra"] == 5
+        assert d["scheme"] == "asit"
+
+
+class TestRunResultStats:
+    def make(self, **over) -> RunResult:
+        base = dict(scheme="wb", workload="x", exec_time_ns=100.0,
+                    data_reads=10, data_writes=5,
+                    avg_read_latency_ns=50.0, avg_write_latency_ns=300.0,
+                    nvm_write_traffic=20, nvm_read_traffic=30,
+                    energy_nj=1000.0, metadata_cache_hit_rate=0.9)
+        base.update(over)
+        return RunResult(**base)
+
+    def test_normalization_ratios(self):
+        base = self.make()
+        other = self.make(exec_time_ns=150.0, nvm_write_traffic=40)
+        norm = other.normalized_to(base)
+        assert norm["exec_time"] == pytest.approx(1.5)
+        assert norm["write_traffic"] == pytest.approx(2.0)
+        assert norm["energy"] == pytest.approx(1.0)
+
+    def test_normalization_zero_base_is_nan(self):
+        import math
+        base = self.make(nvm_write_traffic=0)
+        other = self.make(nvm_write_traffic=5)
+        assert math.isnan(other.normalized_to(base)["write_traffic"])
+
+    def test_as_dict_includes_detail(self):
+        r = self.make(detail={"max_write_latency_ns": 900.0})
+        d = r.as_dict()
+        assert d["max_write_latency_ns"] == 900.0
+        assert d["scheme"] == "wb"
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+    def test_order_invariant(self):
+        a = geometric_mean([1.2, 3.4, 0.7, 9.9])
+        b = geometric_mean([9.9, 0.7, 3.4, 1.2])
+        assert a == pytest.approx(b)

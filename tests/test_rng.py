@@ -1,0 +1,47 @@
+"""Deterministic RNG and mixing primitives."""
+import numpy as np
+import pytest
+
+from repro.common import rng
+
+
+def test_splitmix_deterministic():
+    s1, o1 = rng.splitmix64(12345)
+    s2, o2 = rng.splitmix64(12345)
+    assert (s1, o1) == (s2, o2)
+    assert 0 <= o1 < (1 << 64)
+
+
+def test_mix64_is_order_sensitive():
+    assert rng.mix64(1, 2) != rng.mix64(2, 1)
+
+
+def test_mix64_deterministic_and_64bit():
+    v = rng.mix64(0xDEAD, 0xBEEF, 17)
+    assert v == rng.mix64(0xDEAD, 0xBEEF, 17)
+    assert 0 <= v < (1 << 64)
+
+
+def test_mix64_handles_wide_values():
+    wide = 1 << 200
+    assert rng.mix64(wide) == rng.mix64(wide)
+    assert rng.mix64(wide) != rng.mix64(wide + 1)
+
+
+def test_mix_wide_rejects_negative():
+    with pytest.raises(ValueError):
+        rng.mix_wide(-1)
+
+
+def test_derive_seed_tags_differentiate():
+    base = 99
+    assert rng.derive_seed(base, "a") != rng.derive_seed(base, "b")
+    assert rng.derive_seed(base, 1, 2) != rng.derive_seed(base, 2, 1)
+
+
+def test_make_rng_reproducible():
+    a = rng.make_rng(5, "workload").integers(0, 1000, size=10)
+    b = rng.make_rng(5, "workload").integers(0, 1000, size=10)
+    assert np.array_equal(a, b)
+    c = rng.make_rng(6, "workload").integers(0, 1000, size=10)
+    assert not np.array_equal(a, c)

@@ -1,0 +1,99 @@
+"""Deep verification-walk behaviour of the shared controller.
+
+The fetch-and-verify recursion (Sec. II-C) is the security-critical hot
+path; these tests pin its exact behaviour: chain depth, caching of
+ancestors, zero-subtree handling, and root anchoring.
+"""
+import pytest
+
+from repro.baselines.wb import WBController
+from repro.common.config import CounterMode
+from repro.core.controller import SteinsController
+from repro.nvm.layout import Region
+from tests.test_controller_base import make_rig
+
+
+def fresh_rig(cls=WBController, cache_bytes=8 * 1024):
+    return make_rig(CounterMode.GENERAL, cls, cache_bytes)
+
+
+def test_cold_fetch_walks_whole_branch():
+    controller, device, _ = fresh_rig()
+    g = controller.geometry
+    controller.read_data(0)
+    # every node on the branch is now cached (the recursive walk fills
+    # ancestors on its way down)
+    for level, index in g.branch(0):
+        assert controller.metacache.contains(g.node_offset(level, index))
+
+
+def test_warm_fetch_stops_at_cached_ancestor():
+    controller, device, _ = fresh_rig()
+    controller.read_data(0)             # branch cached
+    reads_before = device.stats.reads[Region.TREE]
+    controller.read_data(8)             # sibling leaf: shares all parents
+    # only the new leaf itself needed a tree read
+    assert device.stats.reads[Region.TREE] == reads_before + 1
+
+
+def test_zero_subtree_needs_no_storage():
+    controller, device, _ = fresh_rig()
+    assert controller.read_data(123456) == 0
+    # nothing was ever persisted for this untouched region
+    assert device.stats.writes[Region.TREE] == 0
+
+
+def test_root_anchors_top_level():
+    controller, _, _ = fresh_rig()
+    g = controller.geometry
+    controller.write_data(0, 7)
+    controller.flush_all()
+    top_level, top_index = g.branch(0)[-1]
+    slot = g.parent_slot(top_level, top_index)
+    assert controller.root.counter(slot) > 0
+
+
+def test_walk_depth_equals_levels():
+    controller, device, _ = fresh_rig()
+    g = controller.geometry
+    controller.read_data(0)
+    # one tree read per in-NVM level (cold walk), all verified
+    assert device.stats.reads[Region.TREE] == g.num_levels
+    assert controller.stats.metadata_fetches == g.num_levels
+
+
+def test_metadata_fetch_counts_misses_only():
+    controller, _, _ = fresh_rig()
+    controller.read_data(0)
+    fetched = controller.stats.metadata_fetches
+    for _ in range(5):
+        controller.read_data(0)
+    assert controller.stats.metadata_fetches == fetched
+
+
+@pytest.mark.parametrize("cls", [WBController, SteinsController])
+def test_distant_blocks_share_only_upper_levels(cls):
+    controller, device, _ = fresh_rig(cls)
+    g = controller.geometry
+    a, b = 0, g.num_data_blocks - 1
+    controller.read_data(a)
+    reads_a = device.stats.reads[Region.TREE]
+    controller.read_data(b)
+    shared = set(g.branch(a)) & set(g.branch(b))
+    new_reads = device.stats.reads[Region.TREE] - reads_a
+    assert new_reads == g.num_levels - len(shared)
+
+
+def test_leaf_eviction_then_reload_verifies_under_new_parent():
+    """After a lazy flush the parent advanced; the re-fetched leaf was
+    sealed under exactly that advanced counter."""
+    controller, _, _ = fresh_rig()
+    g = controller.geometry
+    controller.write_data(0, 1)
+    leaf_offset = g.node_offset(0, 0)
+    node = controller.metacache.peek(leaf_offset)
+    controller.metacache.remove(leaf_offset)
+    controller._flush_dirty_node(node)
+    refetched = controller._ensure_node(0, 0)  # must verify cleanly
+    assert refetched.counter(0) == node.counter(0)
+    assert controller.read_data(0) == 1

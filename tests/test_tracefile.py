@@ -1,0 +1,67 @@
+"""Trace save/load round-trips and error handling."""
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads import get_profile
+from repro.workloads.tracefile import FORMAT_VERSION, load_trace, save_trace
+
+
+def test_roundtrip(tmp_path):
+    trace = get_profile("cactusADM").generate(3, 500, 2048)
+    path = tmp_path / "cactus.npz"
+    save_trace(path, trace, name="cactusADM", seed=3)
+    loaded, meta = load_trace(path)
+    assert np.array_equal(loaded.address, trace.address)
+    assert np.array_equal(loaded.is_write, trace.is_write)
+    assert np.array_equal(loaded.gap_cycles, trace.gap_cycles)
+    assert meta["name"] == "cactusADM"
+    assert meta["seed"] == 3
+    assert meta["accesses"] == 500
+    assert meta["format_version"] == FORMAT_VERSION
+
+
+def test_loaded_trace_drives_a_system(tmp_path):
+    from repro.common.config import small_config
+    from repro.sim.runner import make_system, run_trace
+
+    trace = get_profile("pers_hash").generate(5, 800, 2048)
+    path = tmp_path / "t.npz"
+    save_trace(path, trace)
+    loaded, _ = load_trace(path)
+    system = make_system("steins-gc", small_config())
+    result = run_trace(system, loaded, "pers_hash", flush_writes=True)
+    assert result.data_writes > 0
+    system.verify_all_persisted()
+
+
+def test_missing_file_raises():
+    with pytest.raises(ConfigError, match="cannot load"):
+        load_trace("/nonexistent/trace.npz")
+
+
+def test_garbage_file_raises(tmp_path):
+    path = tmp_path / "junk.npz"
+    path.write_bytes(b"not a npz at all")
+    with pytest.raises(ConfigError):
+        load_trace(path)
+
+
+def test_missing_arrays_raise(tmp_path):
+    path = tmp_path / "partial.npz"
+    np.savez_compressed(path, address=np.arange(4))
+    with pytest.raises(ConfigError, match="missing arrays"):
+        load_trace(path)
+
+
+def test_future_format_rejected(tmp_path):
+    import json
+    trace = get_profile("pers_swap").generate(1, 100, 512)
+    path = tmp_path / "future.npz"
+    meta = {"format_version": FORMAT_VERSION + 1, "accesses": len(trace)}
+    np.savez_compressed(
+        path, is_write=trace.is_write, address=trace.address,
+        gap_cycles=trace.gap_cycles,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8))
+    with pytest.raises(ConfigError, match="newer format"):
+        load_trace(path)

@@ -1,0 +1,132 @@
+"""Steins' offset-record tracker and NV parent buffer (Sec. III-C/III-E)."""
+import pytest
+
+from repro.common.config import EnergyConfig, small_config
+from repro.common.constants import OFFSET_EMPTY
+from repro.common.errors import ConfigError
+from repro.core.nvbuffer import BufferedUpdate, NVParentBuffer
+from repro.core.tracking import OffsetRecordTracker
+from repro.nvm.device import NVMDevice
+from repro.nvm.energy import EnergyMeter
+from repro.nvm.layout import Region, build_layout
+from repro.sim.clock import MemClock
+
+
+@pytest.fixture
+def rig():
+    cfg = small_config()
+    layout = build_layout(data_lines=4096, tree_lines=1024,
+                          metadata_cache_lines=256)
+    device = NVMDevice(layout)
+    clock = MemClock(cfg, device, EnergyMeter(EnergyConfig()))
+    tracker = OffsetRecordTracker(num_cache_slots=256, cache_lines=4,
+                                  device=device)
+    return tracker, device, clock
+
+
+class TestTracker:
+    def test_record_and_scan(self, rig):
+        tracker, device, clock = rig
+        tracker.record(slot=0, offset=100, clock=clock)
+        tracker.record(slot=17, offset=200, clock=clock)
+        tracker.flush_on_crash()
+        offsets, lines = tracker.read_all_offsets(device)
+        assert offsets == {100, 200}
+        assert lines == tracker.num_record_lines
+
+    def test_sixteen_slots_share_a_line(self, rig):
+        tracker, device, clock = rig
+        assert tracker.num_record_lines == 16   # 256 slots / 16
+        for slot in range(16):
+            tracker.record(slot, 1000 + slot, clock)
+        # all 16 updates coalesced into one cached line: no NVM writes
+        assert device.stats.writes[Region.RECORDS] == 0
+
+    def test_line_cache_eviction_writes_back(self, rig):
+        tracker, device, clock = rig
+        # touch 5 distinct record lines with a 4-line cache
+        for line in range(5):
+            tracker.record(line * 16, 7000 + line, clock)
+        assert tracker.stats["line_fills"] == 5
+        assert device.stats.writes[Region.RECORDS] >= 1
+
+    def test_same_offset_rewrite_is_free(self, rig):
+        tracker, device, clock = rig
+        tracker.record(0, 42, clock)
+        before = tracker.stats["line_fills"]
+        tracker.record(0, 42, clock)   # identical record: no line dirtying
+        assert tracker.stats["line_fills"] == before
+        tracker.flush_on_crash()
+        offsets, _ = tracker.read_all_offsets(device)
+        assert offsets == {42}
+
+    def test_slot_overwrite_replaces_offset(self, rig):
+        tracker, device, clock = rig
+        tracker.record(3, 111, clock)
+        tracker.record(3, 222, clock)   # new occupant of the cache line
+        tracker.flush_on_crash()
+        offsets, _ = tracker.read_all_offsets(device)
+        assert offsets == {222}
+
+    def test_crash_flush_persists_cached_lines(self, rig):
+        tracker, device, clock = rig
+        tracker.record(0, 1, clock)
+        assert device.peek(Region.RECORDS, 0) is None   # still in ADR
+        tracker.flush_on_crash()
+        stored = device.peek(Region.RECORDS, 0)
+        assert stored is not None and stored[0] == 1
+        assert all(v == OFFSET_EMPTY for v in stored[1:])
+
+    def test_reset_clears_region(self, rig):
+        tracker, device, clock = rig
+        tracker.record(0, 1, clock)
+        tracker.flush_on_crash()
+        tracker.reset()
+        offsets, _ = tracker.read_all_offsets(device)
+        assert offsets == set()
+
+    def test_slot_bounds(self, rig):
+        tracker, _, clock = rig
+        with pytest.raises(ConfigError):
+            tracker.record(256, 0, clock)
+
+    def test_invalid_sizes(self, rig):
+        _, device, _ = rig
+        with pytest.raises(ConfigError):
+            OffsetRecordTracker(0, 4, device)
+        with pytest.raises(ConfigError):
+            OffsetRecordTracker(16, 0, device)
+
+
+class TestNVBuffer:
+    def test_fifo_order(self):
+        buf = NVParentBuffer(capacity=4)
+        for i in range(3):
+            buf.append(BufferedUpdate(0, i, i * 10))
+        drained = buf.drain()
+        assert [u.child_index for u in drained] == [0, 1, 2]
+        assert len(buf) == 0
+
+    def test_capacity(self):
+        buf = NVParentBuffer(capacity=2)
+        buf.append(BufferedUpdate(0, 0, 1))
+        buf.append(BufferedUpdate(0, 1, 2))
+        assert buf.full
+        with pytest.raises(ConfigError):
+            buf.append(BufferedUpdate(0, 2, 3))
+
+    def test_latest_counter_for(self):
+        buf = NVParentBuffer()
+        buf.append(BufferedUpdate(1, 5, 100))
+        buf.append(BufferedUpdate(1, 5, 120))   # re-eviction of same child
+        buf.append(BufferedUpdate(2, 5, 999))
+        assert buf.latest_counter_for(1, 5) == 120
+        assert buf.latest_counter_for(2, 5) == 999
+        assert buf.latest_counter_for(0, 0) is None
+
+    def test_default_capacity_matches_128_bytes(self):
+        assert NVParentBuffer().capacity == 8
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            NVParentBuffer(capacity=0)
