@@ -1,0 +1,38 @@
+"""simlint: domain-specific static analysis for the Steins reproduction.
+
+An AST-based lint pass that enforces the coding invariants the
+simulator's crash-consistency and determinism guarantees rest on:
+
+* **persist discipline** — NVM/ADR state mutates only through the
+  ``repro.nvm`` / ``repro.core`` accessor APIs (SL001/SL002);
+* **determinism** — seeded RNG only, no wall clock, no order-dependent
+  set iteration (SL101/SL102/SL103);
+* **integer exactness** — counter/LInc/tree arithmetic stays in exact
+  ints (SL201);
+* **stats hygiene** — only declared stats counters are incremented
+  (SL301);
+* **error hygiene** — detection/recovery errors are never swallowed
+  (SL401/SL402).
+
+Run as ``python -m repro.analysis.lint src/`` or via the repro CLI
+(``python -m repro lint src/``).  Suppress a finding in place with
+``# simlint: disable=<rule> -- <reason>``; see docs/static_analysis.md.
+"""
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.engine import LintResult, run_lint
+from repro.analysis.lint.main import main
+from repro.analysis.lint.registry import Rule, all_rules, register
+from repro.analysis.lint.reporters import render_json, render_text
+
+__all__ = [
+    "Diagnostic",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "main",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.analysis.lint`` entry point."""
+import sys
+
+from repro.analysis.lint.main import main
+
+sys.exit(main())

@@ -1,0 +1,64 @@
+"""Diagnostic records emitted by simlint rules.
+
+A diagnostic pins one invariant violation to an exact ``file:line:col``
+so that a reviewer (or CI) can jump straight to the offending
+expression.  Severities order as INFO < WARNING < ERROR; the CLI's
+``--fail-on`` threshold decides which of them break the build.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; integer order supports thresholding."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, what rule, how severe, and why it matters."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    rule_name: str
+    severity: Severity
+    message: str
+
+    @property
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self) -> str:
+        """The canonical single-line rendering (text reporter)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity.name} [{self.rule_id}/{self.rule_name}] "
+                f"{self.message}")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-reporter payload; round-trips through ``json.loads``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+        }

@@ -1,0 +1,165 @@
+"""The simlint engine: discovery, two-pass analysis, suppression filter.
+
+Running the engine over a set of paths:
+
+1. discovers ``*.py`` files (directories are walked, hidden directories
+   and ``*.egg-info`` skipped), parses each once, and indexes its
+   suppression comments;
+2. runs every rule's *collect* pass over all files (cross-file facts,
+   e.g. declared ``*Stats`` fields);
+3. runs every rule's *check* pass, dropping diagnostics covered by a
+   ``# simlint: disable`` directive;
+4. reports suppression-hygiene problems itself (SL000): directives with
+   no reason string or naming unknown rules, and files that fail to
+   parse (SL999).
+
+The result is a deterministic, sorted list of diagnostics — the same
+input always produces byte-identical output, which is itself one of the
+invariants this tool exists to defend.
+"""
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.registry import (
+    FileUnit,
+    ProjectContext,
+    Rule,
+    all_rules,
+    resolve_rules,
+)
+from repro.analysis.lint.suppressions import parse_suppressions
+
+#: rule id reserved for suppression hygiene (engine-emitted)
+SUPPRESSION_RULE_ID = "SL000"
+SUPPRESSION_RULE_NAME = "suppression-hygiene"
+#: rule id reserved for files that cannot be parsed (engine-emitted)
+PARSE_RULE_ID = "SL999"
+PARSE_RULE_NAME = "parse-error"
+
+_SKIP_DIR_SUFFIXES = (".egg-info",)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    diagnostics: list[Diagnostic]
+    files_checked: int
+    rules_run: list[str] = field(default_factory=list)
+
+    def worst(self) -> Severity | None:
+        return max((d.severity for d in self.diagnostics), default=None)
+
+    def exit_code(self, fail_on: Severity = Severity.WARNING) -> int:
+        return 1 if any(d.severity >= fail_on for d in self.diagnostics) \
+            else 0
+
+
+def discover_files(paths: list[str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if any(part.startswith(".") or part.endswith(_SKIP_DIR_SUFFIXES)
+                       for part in sub.parts):
+                    continue
+                found.add(sub)
+        elif path.suffix == ".py":
+            found.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(found)
+
+
+def _load_unit(path: Path) -> FileUnit | Diagnostic:
+    """Parse one file; a syntax failure becomes an SL999 diagnostic."""
+    display = path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=display)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        col = (getattr(exc, "offset", 1) or 1)
+        return Diagnostic(
+            path=display, line=line, col=col,
+            rule_id=PARSE_RULE_ID, rule_name=PARSE_RULE_NAME,
+            severity=Severity.ERROR,
+            message=f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}")
+    return FileUnit(path=display, tree=tree, source=source,
+                    suppressions=parse_suppressions(source))
+
+
+def _suppression_hygiene(unit: FileUnit, known: set[str]) -> list[Diagnostic]:
+    """SL000: directives must carry a reason and name known rules."""
+    out = []
+    for directive in unit.suppressions.directives:
+        if not directive.reason:
+            out.append(Diagnostic(
+                path=unit.path, line=directive.line, col=1,
+                rule_id=SUPPRESSION_RULE_ID,
+                rule_name=SUPPRESSION_RULE_NAME,
+                severity=Severity.ERROR,
+                message="suppression without a reason: append "
+                        "'-- <why this invariant does not apply here>'"))
+        unknown = directive.rules - known - {"all"}
+        for name in sorted(unknown):
+            out.append(Diagnostic(
+                path=unit.path, line=directive.line, col=1,
+                rule_id=SUPPRESSION_RULE_ID,
+                rule_name=SUPPRESSION_RULE_NAME,
+                severity=Severity.ERROR,
+                message=f"suppression names unknown rule {name!r}"))
+    return out
+
+
+def run_lint(paths: list[str], select: set[str] | None = None,
+             ignore: set[str] | None = None) -> LintResult:
+    """Lint ``paths`` with the registered rule set.
+
+    ``select``/``ignore`` take rule ids or names; ``select`` restricts
+    the run to those rules, ``ignore`` drops rules from it.
+    """
+    rules: list[Rule] = all_rules()
+    if select:
+        wanted = resolve_rules(select)
+        rules = [r for r in rules if r.id in wanted]
+    if ignore:
+        dropped = resolve_rules(ignore)
+        rules = [r for r in rules if r.id not in dropped]
+
+    known_rule_tokens = {r.id.lower() for r in all_rules()} \
+        | {r.name.lower() for r in all_rules()}
+
+    units: list[FileUnit] = []
+    diagnostics: list[Diagnostic] = []
+    for path in discover_files(paths):
+        loaded = _load_unit(path)
+        if isinstance(loaded, Diagnostic):
+            diagnostics.append(loaded)
+        else:
+            units.append(loaded)
+
+    project = ProjectContext()
+    for rule in rules:
+        for unit in units:
+            rule.collect(unit, project)
+    for rule in rules:
+        for unit in units:
+            for diag in rule.check(unit, project):
+                if unit.suppressions.is_suppressed(
+                        diag.rule_id, diag.rule_name, diag.line):
+                    continue
+                diagnostics.append(diag)
+    for unit in units:
+        diagnostics.extend(_suppression_hygiene(unit, known_rule_tokens))
+
+    diagnostics.sort(key=lambda d: d.sort_key)
+    return LintResult(diagnostics=diagnostics,
+                      files_checked=len(units),
+                      rules_run=[r.id for r in rules])

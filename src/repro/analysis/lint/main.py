@@ -1,0 +1,78 @@
+"""Command-line entry point for simlint.
+
+``python -m repro.analysis.lint [paths ...]`` — also wired into the
+repro CLI as ``python -m repro lint``.
+"""
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.analysis.lint.diagnostics import Severity
+from repro.analysis.lint.engine import run_lint
+from repro.analysis.lint.registry import all_rules
+from repro.analysis.lint.reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="crash-consistency and determinism lint for the "
+                    "Steins reproduction")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--fail-on", default="warning",
+                        choices=("info", "warning", "error"),
+                        help="lowest severity that makes the run fail")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids/names to run")
+    parser.add_argument("--ignore", default=None,
+                        help="comma-separated rule ids/names to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  {rule.name}  "
+                     f"[{rule.severity.name.lower()}]")
+        lines.append(f"    {rule.description}")
+        if rule.invariant:
+            lines.append(f"    invariant: {rule.invariant}")
+        if rule.paper:
+            lines.append(f"    paper: {rule.paper}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.list_rules:
+            print(_list_rules())
+            return 0
+        select = {s for s in (args.select or "").split(",")
+                  if s.strip()} or None
+        ignore = {s for s in (args.ignore or "").split(",")
+                  if s.strip()} or None
+        try:
+            result = run_lint(args.paths, select=select, ignore=ignore)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"simlint: {exc}", file=sys.stderr)
+            return 2
+        render = render_json if args.format == "json" else render_text
+        print(render(result))
+        return result.exit_code(Severity.from_name(args.fail_on))
+    except BrokenPipeError:  # e.g. ``simlint --list-rules | head``
+        # point stdout at devnull so the interpreter's shutdown flush
+        # does not raise a second EPIPE and print a traceback
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Rule base class and the global rule registry.
+
+Each rule is a class with a stable id (``SLxxx``), a kebab-case name, a
+default severity, and the invariant it protects (shown by
+``--list-rules`` and documented in ``docs/static_analysis.md``).  Rules
+register themselves via the :func:`register` decorator at import time;
+``repro.analysis.lint.rules`` imports every rule module so that loading
+the package yields the complete registry.
+
+Rules see the whole project twice: a *collect* pass that gathers
+cross-file facts (e.g. which ``*Stats`` fields are declared anywhere)
+followed by a *check* pass that emits diagnostics.  This keeps every
+rule a pure function of the analyzed file set — no global state, fully
+deterministic output.
+"""
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Any, Iterator
+
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.suppressions import SuppressionIndex
+
+
+@dataclass
+class FileUnit:
+    """One parsed source file handed to every rule."""
+
+    path: str                    #: display path (posix, as given)
+    tree: ast.Module
+    source: str
+    suppressions: SuppressionIndex
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return PurePosixPath(self.path).parts
+
+
+@dataclass
+class ProjectContext:
+    """Cross-file facts accumulated during the collect pass.
+
+    Rules namespace their entries by rule id to avoid collisions; the
+    dict holds only plain data so a context is trivially inspectable in
+    tests.
+    """
+
+    store: dict[str, Any] = field(default_factory=dict)
+
+    def setdefault(self, key: str, default: Any) -> Any:
+        return self.store.setdefault(key, default)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.store.get(key, default)
+
+
+class Rule:
+    """Base class: subclass, set the metadata, implement ``check``."""
+
+    id: str = "SL000"
+    name: str = "unnamed"
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    #: the crash-consistency / determinism invariant this rule protects
+    invariant: str = ""
+    #: the paper section the invariant derives from
+    paper: str = ""
+
+    def collect(self, unit: FileUnit, project: ProjectContext) -> None:
+        """First pass: gather cross-file facts (optional)."""
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        """Second pass: yield diagnostics for one file."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------ helpers
+    def diag(self, unit: FileUnit, node: ast.AST | tuple[int, int],
+             message: str) -> Diagnostic:
+        if isinstance(node, tuple):
+            line, col = node
+        else:
+            line, col = node.lineno, node.col_offset + 1
+        return Diagnostic(
+            path=unit.path, line=line, col=col,
+            rule_id=self.id, rule_name=self.name,
+            severity=self.severity, message=message)
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.id in _REGISTRY and _REGISTRY[cls.id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    import repro.analysis.lint.rules  # noqa: F401  -- registration side effect
+    return [cls() for _, cls in sorted(_REGISTRY.items())]
+
+
+def resolve_rules(names: set[str]) -> set[str]:
+    """Map a mix of rule ids and names to canonical rule ids."""
+    known = {r.id.lower(): r.id for r in all_rules()}
+    known.update({r.name.lower(): r.id for r in all_rules()})
+    out = set()
+    for name in names:
+        key = name.strip().lower()
+        if key not in known:
+            raise ValueError(f"unknown rule {name!r}")
+        out.add(known[key])
+    return out

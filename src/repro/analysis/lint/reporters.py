@@ -1,0 +1,43 @@
+"""Text and JSON reporters for simlint results."""
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any
+
+from repro.analysis.lint.engine import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per diagnostic plus a summary."""
+    lines = [d.format() for d in result.diagnostics]
+    by_severity = Counter(d.severity.name.lower()
+                          for d in result.diagnostics)
+    if result.diagnostics:
+        breakdown = ", ".join(f"{n} {sev}" for sev, n
+                              in sorted(by_severity.items()))
+        lines.append(f"simlint: {len(result.diagnostics)} finding(s) "
+                     f"({breakdown}) in {result.files_checked} file(s)")
+    else:
+        lines.append(f"simlint: clean ({result.files_checked} file(s), "
+                     f"{len(result.rules_run)} rule(s))")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report; round-trips through ``json.loads``."""
+    payload: dict[str, Any] = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "rules_run": result.rules_run,
+        "diagnostics": [d.as_dict() for d in result.diagnostics],
+        "summary": {
+            "total": len(result.diagnostics),
+            "by_severity": dict(sorted(Counter(
+                d.severity.name.lower()
+                for d in result.diagnostics).items())),
+            "by_rule": dict(sorted(Counter(
+                d.rule_id for d in result.diagnostics).items())),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,19 @@
+"""Rule modules; importing this package registers every rule.
+
+Rule id allocation:
+
+* SL000        suppression hygiene (engine-emitted)
+* SL001-SL099  persist discipline
+* SL101-SL199  determinism
+* SL201-SL299  integer exactness
+* SL301-SL399  stats hygiene
+* SL401-SL499  error hygiene
+* SL999        parse errors (engine-emitted)
+"""
+from repro.analysis.lint.rules import (  # noqa: F401  -- registration
+    determinism,
+    errors,
+    exactness,
+    persist,
+    stats,
+)

@@ -1,0 +1,232 @@
+"""Determinism rules.
+
+Every figure in the paper reproduction must be bit-identical run to
+run: simulations derive all randomness from explicit seeds through
+``repro.common.rng`` (splitmix64-derived sub-seeds), and nothing on a
+simulation path may read the wall clock or iterate a container whose
+order varies between processes.  Osiris/Anubis-style recovery schemes
+are validated by *replaying* runs; a single unseeded draw makes a
+crash-point unreproducible and the whole recovery test vacuous.
+
+Three rules:
+
+* SL101 ``unseeded-random`` (ERROR) — ``random.*`` or raw
+  ``numpy.random.*`` instead of ``repro.common.rng.make_rng``;
+* SL102 ``wall-clock`` (ERROR) — ``time.time()``-family or
+  ``datetime.now()``-family calls inside simulation code;
+* SL103 ``unordered-iteration`` (WARNING) — iterating a ``set`` /
+  ``frozenset`` expression whose order can leak into stats or output
+  (wrap in ``sorted(...)``).
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.astutil import dotted_name
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.registry import (
+    FileUnit,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+#: the one module allowed to touch numpy's generator machinery
+_RNG_ACCESSOR_SUFFIX = ("repro", "common", "rng.py")
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns", "time.clock_gettime",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+def _is_rng_accessor(unit: FileUnit) -> bool:
+    return unit.parts[-3:] == _RNG_ACCESSOR_SUFFIX
+
+
+@register
+class UnseededRandomRule(Rule):
+    id = "SL101"
+    name = "unseeded-random"
+    severity = Severity.ERROR
+    description = ("stdlib random / raw numpy.random instead of the "
+                   "seeded repro.common.rng streams")
+    invariant = ("all stochastic components draw from explicit "
+                 "splitmix64-derived sub-seeds so runs replay exactly")
+    paper = "Sec. IV (methodology); recovery tests replay crash points"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        if _is_rng_accessor(unit):
+            return
+        numpy_aliases = {"numpy"}
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    if alias.name.split(".")[0] == "random":
+                        yield self.diag(unit, node, (
+                            "import of stdlib 'random'; derive a seeded "
+                            "stream via repro.common.rng.make_rng instead"))
+                    if alias.name == "numpy.random":
+                        yield self.diag(unit, node, (
+                            "import of numpy.random; use "
+                            "repro.common.rng.make_rng so the seed is "
+                            "explicit and derived"))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.diag(unit, node, (
+                        "import from stdlib 'random'; derive a seeded "
+                        "stream via repro.common.rng.make_rng instead"))
+                elif node.module in ("numpy.random", "numpy") and any(
+                        a.name == "random" for a in node.names
+                        ) and node.module == "numpy":
+                    yield self.diag(unit, node, (
+                        "import of numpy.random; use "
+                        "repro.common.rng.make_rng so the seed is "
+                        "explicit and derived"))
+                elif node.module == "numpy.random":
+                    yield self.diag(unit, node, (
+                        "import from numpy.random; use "
+                        "repro.common.rng.make_rng so the seed is "
+                        "explicit and derived"))
+            elif isinstance(node, ast.Attribute):
+                chain = dotted_name(node)
+                if chain is None:
+                    continue
+                parts = chain.split(".")
+                if parts[0] == "random" and len(parts) == 2:
+                    yield self.diag(unit, node, (
+                        f"call path '{chain}' uses the global stdlib RNG; "
+                        "use repro.common.rng.make_rng(seed, *tags)"))
+                elif len(parts) >= 3 and parts[0] in numpy_aliases \
+                        and parts[1] == "random":
+                    yield self.diag(unit, node, (
+                        f"'{chain}' bypasses the seeded-stream discipline; "
+                        "use repro.common.rng.make_rng(seed, *tags)"))
+
+
+@register
+class WallClockRule(Rule):
+    id = "SL102"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    description = "wall-clock reads inside simulation code"
+    invariant = ("simulated time comes only from the MemClock; host time "
+                 "never influences results, so figures replay exactly")
+    paper = "Sec. IV-A (simulation methodology)"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_name(node.func)
+            if chain in _WALL_CLOCK_CALLS:
+                yield self.diag(unit, node, (
+                    f"wall-clock call '{chain}()'; simulation time must "
+                    "come from repro.sim.clock.MemClock (host time makes "
+                    "runs unreproducible)"))
+
+
+class _SetExprFinder:
+    """Decides whether an expression is statically known to be a set."""
+
+    def __init__(self) -> None:
+        self.local_sets: set[str] = set()
+
+    def note_assignment(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if self.is_set_expr(node.value):
+                self.local_sets.add(name)
+            else:
+                self.local_sets.discard(name)
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.local_sets
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("union", "intersection",
+                                       "difference", "symmetric_difference"):
+            return self.is_set_expr(node.func.value)
+        return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    id = "SL103"
+    name = "unordered-iteration"
+    severity = Severity.WARNING
+    description = "iteration over a set whose order can reach stats"
+    invariant = ("aggregation and output orders are fixed, so hash "
+                 "randomization cannot change any reported figure")
+    paper = "Sec. IV (figures are exact, not sampled)"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        # one finder per function scope; module level gets its own
+        for scope in self._scopes(unit.tree):
+            finder = _SetExprFinder()
+            for node in self._scope_body_walk(scope):
+                if isinstance(node, ast.Assign):
+                    finder.note_assignment(node)
+                iters: list[ast.AST] = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                       ast.DictComp, ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                elif isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Name) \
+                        and node.func.id in ("list", "tuple", "enumerate") \
+                        and node.args:
+                    iters.append(node.args[0])
+                for it in iters:
+                    if finder.is_set_expr(it):
+                        yield self.diag(unit, it, (
+                            "iteration over a set: order depends on hash "
+                            "seeding; wrap in sorted(...) before the "
+                            "order can leak into stats or output"))
+
+    @staticmethod
+    def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def _scope_body_walk(scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk a scope without descending into nested functions."""
+        stack: list[ast.AST]
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Module)):
+            stack = list(scope.body)
+        else:  # pragma: no cover - defensive
+            stack = [scope]
+        while stack:
+            node = stack.pop(0)
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # its own scope: _scopes() walks it separately
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue
+                stack.append(child)

@@ -1,0 +1,110 @@
+"""Error-hygiene rules for recovery and crash paths.
+
+The exception hierarchy is deliberately *raised, never logged*
+(``repro.common.errors``): the paper's security analysis (Sec. III-H)
+is validated by tests asserting that each attack class raises the
+matching detection error.  A handler that swallows ``RecoveryError``
+or ``TamperDetectedError`` converts "attack detected" into "attack
+succeeded silently" — the exact failure mode Phoenix/Anubis-class
+schemes exist to prevent.
+
+* SL401 ``broad-except`` (ERROR) — bare ``except:`` or
+  ``except (Base)Exception:`` that does not re-raise;
+* SL402 ``swallowed-detection`` (ERROR) — a handler catching one of
+  the library's detection/recovery errors with no ``raise`` in its
+  body.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.registry import (
+    FileUnit,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+#: the detection / recovery errors that must never be silently dropped
+_GUARDED_ERRORS = frozenset({
+    "ReproError", "IntegrityError", "TamperDetectedError",
+    "ReplayDetectedError", "RecoveryError", "CrashedError",
+    "CounterOverflowError",
+})
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _caught_names(handler: ast.ExceptHandler) -> set[str]:
+    """Exception class names a handler catches (last attr for dotted)."""
+    node = handler.type
+    if node is None:
+        return set()
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = set()
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.add(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.add(element.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register
+class BroadExceptRule(Rule):
+    id = "SL401"
+    name = "broad-except"
+    severity = Severity.ERROR
+    description = "bare/broad except that does not re-raise"
+    invariant = ("detection errors propagate to the caller; a broad "
+                 "handler cannot accidentally absorb them")
+    paper = "Sec. III-H (security analysis: detection must surface)"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None and not _reraises(node):
+                yield self.diag(unit, node, (
+                    "bare 'except:' swallows every error including "
+                    "integrity detections; catch the specific repro "
+                    "error or re-raise"))
+            elif _caught_names(node) & _BROAD_NAMES and not _reraises(node):
+                caught = ", ".join(sorted(_caught_names(node) & _BROAD_NAMES))
+                yield self.diag(unit, node, (
+                    f"'except {caught}:' without re-raise can absorb "
+                    "integrity detections; catch the specific repro "
+                    "error or re-raise"))
+
+
+@register
+class SwallowedDetectionRule(Rule):
+    id = "SL402"
+    name = "swallowed-detection"
+    severity = Severity.ERROR
+    description = ("a detection/recovery error is caught and silently "
+                   "dropped")
+    invariant = ("TamperDetected/ReplayDetected/RecoveryError reach the "
+                 "caller: 'attack detected' never degrades to 'attack "
+                 "succeeded silently'")
+    paper = "Sec. III-H; recovery protocol Sec. III-G"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            guarded = _caught_names(node) & _GUARDED_ERRORS
+            if guarded and not _reraises(node):
+                names = ", ".join(sorted(guarded))
+                yield self.diag(unit, node, (
+                    f"handler catches {names} but never re-raises: a "
+                    "detected attack or failed recovery would pass "
+                    "silently; re-raise or let it propagate"))

@@ -1,0 +1,98 @@
+"""Integer-exactness rule (paper Sec. III-B, Eq. 1/2).
+
+Counter arithmetic is the trust base of the whole scheme: generated
+parent counters (``gensum``), LInc expectations, and tree-arity math
+must be *exact*.  A float sneaking into ``major * 2**6 + sum(minors)``
+or into a ceil-division (``-(-a // b)`` is exact; ``math.ceil(a / b)``
+is not, once ``a`` exceeds 2**53) produces counters that verify against
+nothing after recovery — precisely the silent corruption class Osiris
+and Anubis (arXiv:1912.04726) document for persist-ordering bugs.
+
+SL201 ``float-in-counter-math`` (ERROR) flags, inside the counter /
+core / integrity packages:
+
+* float literals (``2.0``, ``1e9``),
+* true division ``/`` (including ``/=``),
+* ``float(...)`` conversions,
+
+except inside functions whose signature explicitly involves ``float`` —
+those model latency/energy/lifetime quantities, which are float-domain
+by design (e.g. ``years_to_overflow(write_latency_ns: float)``).
+
+The rule scopes by path component: any file under a directory named
+``counters``, ``core``, or ``integrity`` is checked, which covers both
+``src/repro/...`` and the lint test fixtures.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.astutil import signature_mentions_float
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.registry import (
+    FileUnit,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+_SCOPED_DIRS = frozenset({"counters", "core", "integrity"})
+
+
+@register
+class FloatInCounterMathRule(Rule):
+    id = "SL201"
+    name = "float-in-counter-math"
+    severity = Severity.ERROR
+    description = ("float literals / true division in counter, LInc, or "
+                   "tree-arity arithmetic")
+    invariant = ("counter and tree math is exact integer arithmetic; "
+                 "generated parents and LInc expectations can never "
+                 "drift through rounding")
+    paper = "Sec. III-B (Eq. 1/2, skip update), III-D (LInc)"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        if not (_SCOPED_DIRS & set(unit.parts[:-1])):
+            return
+        exempt = self._float_domain_spans(unit.tree)
+        for node in ast.walk(unit.tree):
+            line = getattr(node, "lineno", None)
+            if line is None or self._in_spans(line, exempt):
+                continue
+            if isinstance(node, ast.Constant) \
+                    and type(node.value) is float:
+                yield self.diag(unit, node, (
+                    f"float literal {node.value!r} in counter-math scope; "
+                    "use exact integers (declare float in the enclosing "
+                    "signature if this models time/energy)"))
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield self.diag(unit, node, (
+                    "true division '/' in counter-math scope loses "
+                    "exactness above 2**53; use '//' (ceil: -(-a // b))"))
+            elif isinstance(node, ast.AugAssign) \
+                    and isinstance(node.op, ast.Div):
+                yield self.diag(unit, node, (
+                    "true division '/=' in counter-math scope loses "
+                    "exactness above 2**53; use '//='"))
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Name) \
+                    and node.func.id == "float":
+                yield self.diag(unit, node, (
+                    "float(...) conversion in counter-math scope; keep "
+                    "counters and tree geometry in exact integers"))
+
+    @staticmethod
+    def _float_domain_spans(tree: ast.Module) -> list[tuple[int, int]]:
+        """Line ranges of functions whose signature involves float."""
+        spans = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and signature_mentions_float(node):
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+        return spans
+
+    @staticmethod
+    def _in_spans(line: int, spans: list[tuple[int, int]]) -> bool:
+        return any(lo <= line <= hi for lo, hi in spans)

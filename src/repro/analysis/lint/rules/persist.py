@@ -1,0 +1,198 @@
+"""Persist-discipline rules (paper Sec. III-C/III-E).
+
+NVM-backed and ADR-domain state must only change through the accessor
+APIs of ``repro.nvm`` / ``repro.core`` (``NVMDevice.write``/``poke``,
+``ADRDomain.put``, ``NonVolatileRegister.value``, controller flush
+protocols).  A direct write to another object's private storage —
+``device._store[k] = v``, ``adr._slots[name] = x`` — bypasses the write
+queue and the crash-flush callbacks, silently breaking the recovery
+guarantees the paper proves (a persist that never reaches the ADR
+domain is lost at crash time but the simulation would keep believing
+it durable).
+
+Two rules:
+
+* SL001 ``nvm-direct-mutation`` (ERROR) — mutating a private attribute
+  of a *different* object (``obj._x = ...``, ``obj._x[k] = ...``,
+  ``obj._x.clear()``) when the attribute is not owned by a class in the
+  same module.
+* SL002 ``private-reach`` (WARNING) — *reading* such an attribute.
+  Reads do not corrupt state, but they couple modules to storage
+  internals that the accessor API deliberately hides, which is how
+  persist-ordering bugs slip in during refactors.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.astutil import (
+    is_private_attr,
+    receiver_is_self,
+)
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.registry import (
+    FileUnit,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+#: method names that mutate the container they are called on
+_MUTATOR_METHODS = frozenset({
+    "append", "add", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "update", "sort", "reverse",
+})
+
+_OWNED_KEY = "persist.module_owned_attrs"
+
+
+def _owned_attrs_of_module(tree: ast.Module) -> set[str]:
+    """Private attribute names defined by any class in this module.
+
+    Collected from ``__slots__``, class-body assignments, and
+    ``self._x = ...`` statements inside methods.  Access to these names
+    from elsewhere in the *same* module is considered implementation
+    territory (copy constructors, factory helpers) and allowed.
+    """
+    owned: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id == "__slots__":
+                        for sub in ast.walk(stmt.value):
+                            if isinstance(sub, ast.Constant) \
+                                    and isinstance(sub.value, str):
+                                owned.add(sub.value)
+                    elif isinstance(target, ast.Name):
+                        owned.add(target.id)
+                    elif isinstance(target, ast.Attribute) \
+                            and receiver_is_self(target.value):
+                        owned.add(target.attr)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, (ast.Name, ast.Attribute)):
+                if isinstance(stmt.target, ast.Name):
+                    owned.add(stmt.target.id)
+                elif receiver_is_self(stmt.target.value):
+                    owned.add(stmt.target.attr)
+    return {name for name in owned if is_private_attr(name)}
+
+
+def _foreign_private_attr(node: ast.AST, owned: set[str]) -> ast.Attribute | None:
+    """The outermost foreign-private attribute inside ``node``, if any.
+
+    Walks through subscripts (``obj._store[k]``) down to the attribute;
+    returns it when the attribute is private, its receiver is not
+    ``self``/``cls``, and the name is not owned by this module.
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if not isinstance(node, ast.Attribute):
+        return None
+    if not is_private_attr(node.attr) or node.attr in owned:
+        return None
+    if receiver_is_self(node.value):
+        return None
+    return node
+
+
+class _PersistBase(Rule):
+    def collect(self, unit: FileUnit, project: ProjectContext) -> None:
+        by_module = project.setdefault(_OWNED_KEY, {})
+        if unit.path not in by_module:
+            by_module[unit.path] = _owned_attrs_of_module(unit.tree)
+
+
+@register
+class DirectMutationRule(_PersistBase):
+    id = "SL001"
+    name = "nvm-direct-mutation"
+    severity = Severity.ERROR
+    description = ("direct mutation of another object's private storage "
+                   "bypasses the NVM/ADR accessor APIs")
+    invariant = ("NVM-region and ADR-domain state changes only through "
+                 "repro.nvm / repro.core accessor APIs, so every persist "
+                 "is ordered and crash-flushed")
+    paper = "Sec. III-C (ADR record lines), III-E (NV buffer drains)"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        owned = project.get(_OWNED_KEY, {}).get(unit.path, set())
+        for node in ast.walk(unit.tree):
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATOR_METHODS:
+                hit = _foreign_private_attr(node.func.value, owned)
+                if hit is not None:
+                    yield self.diag(unit, node, self._message(
+                        hit, f".{node.func.attr}(...)"))
+                continue
+            for target in targets:
+                hit = _foreign_private_attr(target, owned)
+                if hit is not None:
+                    yield self.diag(unit, target, self._message(hit, " = ..."))
+
+    @staticmethod
+    def _message(attr: ast.Attribute, op: str) -> str:
+        return (f"direct mutation of private storage '{attr.attr}'{op} "
+                "outside its accessor API; route the write through the "
+                "owning repro.nvm/repro.core interface so it is ordered "
+                "and crash-flushed")
+
+
+@register
+class PrivateReachRule(_PersistBase):
+    id = "SL002"
+    name = "private-reach"
+    severity = Severity.WARNING
+    description = ("reading another object's private attribute couples "
+                   "callers to storage internals")
+    invariant = ("modules observe NVM/ADR state only through public "
+                 "accessors, keeping persist ordering auditable")
+    paper = "Sec. III-C"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        owned = project.get(_OWNED_KEY, {}).get(unit.path, set())
+        mutated: set[int] = set()
+        for node in ast.walk(unit.tree):
+            # skip attributes already reported as mutations by SL001
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _MUTATOR_METHODS:
+                targets = [node.func.value]
+            for target in targets:
+                hit = _foreign_private_attr(target, owned)
+                if hit is not None:
+                    mutated.add(id(hit))
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.Attribute) or id(node) in mutated:
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            if not is_private_attr(node.attr) or node.attr in owned:
+                continue
+            if receiver_is_self(node.value):
+                continue
+            yield self.diag(unit, node, (
+                f"reach into private attribute '{node.attr}' of another "
+                "object; expose a public accessor on the owning class "
+                "instead"))

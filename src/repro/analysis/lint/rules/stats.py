@@ -1,0 +1,140 @@
+"""Stats-hygiene rule.
+
+Every paper figure is computed from ``*Stats`` dataclasses and
+``RecoveryReport`` detail counters.  A typo'd attribute
+(``stats.data_wrtes += 1``) or an undeclared ``bump("new_key")``
+silently creates a *new* counter instead of feeding the figure — the
+run completes, the figure is wrong, nobody notices.  This rule makes
+the declaration explicit:
+
+* attribute accesses through ``.stats.<attr>`` / ``report.<attr>``
+  must name a field, property, or method declared on *some* collected
+  stats class;
+* string keys passed to ``.bump("...")`` must appear in a
+  ``KNOWN_KEYS`` registry declared on a stats/report class.
+
+SL301 ``undeclared-stat`` (ERROR).  The collect pass indexes every
+class whose name ends in ``Stats`` or ``Report`` across the analyzed
+fileset, so the rule only fires when such declarations exist (linting
+a lone snippet with no stats classes reports nothing).
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.astutil import (
+    receiver_is_self,
+    string_elements,
+)
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.registry import (
+    FileUnit,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+_ATTRS_KEY = "stats.declared_attrs"
+_BUMP_KEYS_KEY = "stats.known_bump_keys"
+_HAS_REGISTRY_KEY = "stats.has_key_registry"
+
+#: receiver attribute/variable names treated as stats objects
+_STATS_RECEIVERS = frozenset({"stats", "report"})
+
+
+def _is_stats_class(node: ast.ClassDef) -> bool:
+    return node.name.endswith(("Stats", "Report"))
+
+
+def _declared_names(cls: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name):
+            names.add(stmt.target.id)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(stmt.name)
+            for sub in ast.walk(stmt):
+                if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                    targets = sub.targets if isinstance(sub, ast.Assign) \
+                        else [sub.target]
+                    for target in targets:
+                        if isinstance(target, ast.Attribute) \
+                                and receiver_is_self(target.value):
+                            names.add(target.attr)
+    return names
+
+
+def _known_keys(cls: ast.ClassDef) -> set[str] | None:
+    """String members of a class-level ``KNOWN_KEYS`` registry, if any."""
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "KNOWN_KEYS" \
+                    and value is not None:
+                elements = string_elements(value)
+                if elements is not None:
+                    return set(elements)
+    return None
+
+
+@register
+class UndeclaredStatRule(Rule):
+    id = "SL301"
+    name = "undeclared-stat"
+    severity = Severity.ERROR
+    description = ("incrementing a Stats field or bump key that no stats "
+                   "class declares")
+    invariant = ("every counter a figure reads is declared up front, so "
+                 "a typo cannot silently fork a new, unread counter")
+    paper = "Sec. IV (figures are computed from declared stats)"
+
+    def collect(self, unit: FileUnit, project: ProjectContext) -> None:
+        attrs: set[str] = project.setdefault(_ATTRS_KEY, set())
+        keys: set[str] = project.setdefault(_BUMP_KEYS_KEY, set())
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.ClassDef) and _is_stats_class(node):
+                attrs.update(_declared_names(node))
+                registry = _known_keys(node)
+                if registry is not None:
+                    keys.update(registry)
+                    project.store[_HAS_REGISTRY_KEY] = True
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        declared: set[str] = project.get(_ATTRS_KEY, set())
+        known_keys: set[str] = project.get(_BUMP_KEYS_KEY, set())
+        has_registry: bool = bool(project.get(_HAS_REGISTRY_KEY))
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Attribute) and declared:
+                # <expr>.stats.<attr> with an undeclared attr
+                recv = node.value
+                if isinstance(recv, ast.Attribute) \
+                        and recv.attr in _STATS_RECEIVERS \
+                        and not node.attr.startswith("__") \
+                        and node.attr not in declared:
+                    yield self.diag(unit, node, (
+                        f"'{node.attr}' is not declared by any *Stats/"
+                        "*Report class; a typo here silently forks a new "
+                        "counter that no figure reads"))
+            elif isinstance(node, ast.Call) and has_registry \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "bump" and node.args:
+                key = node.args[0]
+                if isinstance(key, ast.Constant) \
+                        and isinstance(key.value, str) \
+                        and key.value not in known_keys:
+                    yield self.diag(unit, node, (
+                        f"bump key {key.value!r} is not declared in any "
+                        "KNOWN_KEYS registry; declare it on the stats "
+                        "class so reports stay exhaustive"))
