@@ -50,7 +50,7 @@ def _parent_view(controller: SecureMemoryController, level: int,
     poff = g.node_offset(*parent)
     pnode = controller.metacache.peek(poff)
     if pnode is None:
-        pnode = controller._inflight.get(poff)
+        pnode = controller.inflight_node(poff)
     if pnode is not None:
         return pnode.counter(slot)
     snap = controller.device.peek(Region.TREE, poff)

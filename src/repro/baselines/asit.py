@@ -123,7 +123,7 @@ class ASITController(SecureMemoryController):
             if tree_snap is not None and \
                     SITNode.from_snapshot(tree_snap).gensum() >= node.gensum():
                 continue
-            self._force_install(offset, node)
+            self.force_install(offset, node)
             # Re-shadow at the node's *new* cache slot: the old slot will
             # be recycled by future occupants, and without fresh coverage
             # a second crash would lose the restored-but-unmodified state.

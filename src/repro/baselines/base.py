@@ -368,7 +368,7 @@ class SecureMemoryController:
         if self.metacache.mark_dirty(offset):
             self._on_clean_to_dirty(offset, node)
 
-    def _force_install(self, offset: int, node: SITNode) -> None:
+    def force_install(self, offset: int, node: SITNode) -> None:
         """Recovery-side install: the given content is authoritative and
         must land in the cache marked dirty, even if a (stale) copy was
         pulled in by an eviction chain in the meantime."""
@@ -495,6 +495,34 @@ class SecureMemoryController:
         if self._crashed:
             raise RecoveryError(
                 f"controller {self.name!r} crashed; recover() first")
+
+    # ------------------------------------------------------ recovery API
+    # The recovery protocol (repro.core.recovery, scheme recover()
+    # overrides) and the consistency checker run *outside* the
+    # controller; everything they need is exposed here so they never
+    # reach into private state (enforced by simlint SL001/SL002).
+
+    @property
+    def leaf_split(self) -> bool:
+        """Whether leaves use the split counter organisation."""
+        return self._leaf_split
+
+    @property
+    def overflow_policy(self) -> OverflowPolicy:
+        """Leaf overflow policy; recovery rebuilds leaves under it."""
+        return self._overflow_policy
+
+    def inflight_node(self, offset: int) -> SITNode | None:
+        """The live mid-flush victim for ``offset``, if one exists.
+
+        Between a dirty victim's removal from the cache and its persist,
+        the in-flight object is the authoritative copy (see
+        ``_install``); consistency checks must consult it."""
+        return self._inflight.get(offset)
+
+    def mark_recovered(self) -> None:
+        """Recovery completed: the controller accepts operations again."""
+        self._crashed = False
 
     # ------------------------------------------------------- inspection
     def cached_dirty_offsets(self) -> set[int]:

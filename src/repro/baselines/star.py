@@ -250,7 +250,7 @@ class STARController(SecureMemoryController):
         self._crashed = False
         for offset, node in sorted(recovered.items(),
                                    key=lambda e: -e[1].level):
-            self._force_install(offset, node)
+            self.force_install(offset, node)
         return report
 
     def _rebuild_node(self, level: int, index: int,

@@ -185,7 +185,7 @@ class SteinsRecovery:
         (the major lives in the data HMAC entry, Sec. II-D), or via
         Osiris trial decryption when that strategy is configured."""
         c, g = self.c, self.g
-        if c._osiris:
+        if c.cfg.security.leaf_recovery == "osiris":
             from repro.core import osiris
 
             stale = self._read_stale(0, leaf_index)
@@ -205,7 +205,7 @@ class SteinsRecovery:
                 minors[g.leaf_slot_for_block(addr)] = echo & 63
                 major = max(major, echo >> 6)
             block: GeneralCounterBlock | SplitCounterBlock = \
-                SplitCounterBlock(major, minors, c._overflow_policy)
+                SplitCounterBlock(major, minors, c.overflow_policy)
         else:
             block = GeneralCounterBlock()
             for addr in g.leaf_data_blocks(leaf_index):
@@ -239,8 +239,8 @@ class SteinsRecovery:
         snap = self.c.device.peek(Region.TREE, offset)
         self.report.read()
         if snap is None:
-            node = make_empty_node(level, index, self.c._leaf_split,
-                                   self.c.engine, self.c._overflow_policy)
+            node = make_empty_node(level, index, self.c.leaf_split,
+                                   self.c.engine, self.c.overflow_policy)
         else:
             node = SITNode.from_snapshot(snap)
         parent_counter = self._stale_parent_counter(level, index)
@@ -272,8 +272,8 @@ class SteinsRecovery:
         c = self.c
         c.lincs.set_all(verified_lincs)
         c.tracker.reset()
-        c._crashed = False
+        c.mark_recovered()
         for offset, node in sorted(self._recovered.items(),
                                    key=lambda e: -e[1].level):
-            c._force_install(offset, node)
+            c.force_install(offset, node)
         self.report.bump("reinstalled", len(self._recovered))
