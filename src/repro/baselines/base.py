@@ -50,6 +50,19 @@ DataLine = tuple
 class ControllerStats:
     """Per-controller observational counters."""
 
+    #: Every ``extra`` counter a scheme may bump, declared up front so
+    #: the stats-hygiene lint (SL301) and :meth:`bump` itself reject
+    #: typo'd keys instead of silently forking an unread counter.
+    KNOWN_KEYS = frozenset({
+        "bitmap_writes",
+        "buffer_drains",
+        "buffered_parent_updates",
+        "cache_tree_updates",
+        "osiris_stop_loss_writes",
+        "set_mac_updates",
+        "shadow_writes",
+    })
+
     data_reads: int = 0
     data_writes: int = 0
     read_latency_ns: float = 0.0
@@ -70,6 +83,10 @@ class ControllerStats:
         return self.write_latency_ns / self.data_writes if self.data_writes else 0.0
 
     def bump(self, key: str, n: int = 1) -> None:
+        if key not in self.KNOWN_KEYS:
+            raise ValueError(
+                f"undeclared stats key {key!r}; declare it in "
+                "ControllerStats.KNOWN_KEYS so figures stay exhaustive")
         self.extra[key] = self.extra.get(key, 0) + n
 
 

@@ -19,6 +19,17 @@ READ_VERIFY_NS: float = 100.0
 class RecoveryReport:
     """What one recovery run did and how long it took."""
 
+    #: Every ``detail`` counter a recovery path may bump, declared up
+    #: front so the stats-hygiene lint (SL301) and :meth:`bump` reject
+    #: typo'd keys instead of silently forking an unread counter.
+    KNOWN_KEYS = frozenset({
+        "buffer_replays",
+        "osiris_trials",
+        "record_lines",
+        "reinstalled",
+        "shadow_entries",
+    })
+
     scheme: str
     nvm_reads: int = 0
     nvm_writes: int = 0
@@ -36,6 +47,10 @@ class RecoveryReport:
         self.hashes += n
 
     def bump(self, key: str, n: int = 1) -> None:
+        if key not in self.KNOWN_KEYS:
+            raise ValueError(
+                f"undeclared recovery detail key {key!r}; declare it in "
+                "RecoveryReport.KNOWN_KEYS so reports stay exhaustive")
         self.detail[key] = self.detail.get(key, 0) + n
 
     @property

@@ -19,14 +19,22 @@ class TestRecoveryReport:
         report.read(3)
         report.write(2)
         report.hash(5)
-        report.bump("extra", 4)
-        report.bump("extra")
+        report.bump("record_lines", 4)
+        report.bump("record_lines")
         d = report.as_dict()
         assert d["nvm_reads"] == 3
         assert d["nvm_writes"] == 2
         assert d["hashes"] == 5
-        assert d["extra"] == 5
+        assert d["record_lines"] == 5
         assert d["scheme"] == "asit"
+
+    def test_undeclared_detail_key_rejected(self):
+        """bump() enforces the KNOWN_KEYS registry (simlint SL301's
+        runtime twin): a typo'd key must fail loudly, not fork a new
+        counter that no figure reads."""
+        report = RecoveryReport("asit")
+        with pytest.raises(ValueError, match="undeclared"):
+            report.bump("record_lnies")
 
 
 class TestRunResultStats:
