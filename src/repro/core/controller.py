@@ -120,7 +120,7 @@ class SteinsController(SecureMemoryController):
         """Fig. 7: generate the parent counter from the evicted node, seal
         and persist without ever reading the parent on the write path."""
         generated = node.gensum()
-        self.clock.alu_op(cycles_each=2.0)  # the linear function
+        self.clock.alu_op(cycles_each=2)  # the linear function
         self.clock.hash_op()
         node.seal(self.engine, generated)
         self._persist_node(node)
