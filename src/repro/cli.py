@@ -9,6 +9,7 @@ Commands
 ``storage``   the Sec. IV-E storage-overhead table
 ``overflow``  the Sec. III-B.2 counter-lifetime analysis
 ``workloads`` list the available workload profiles
+``lint``      run simlint over the tree (see ``repro.analysis.lint``)
 """
 from __future__ import annotations
 
@@ -76,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("storage", help="Sec. IV-E storage overhead")
     sub.add_parser("overflow", help="Sec. III-B.2 counter lifetimes")
     sub.add_parser("workloads", help="list workload profiles")
+
+    lint = sub.add_parser(
+        "lint", help="run simlint (crash-consistency/determinism checks)",
+        add_help=False)
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to simlint")
     return parser
 
 
@@ -183,6 +190,12 @@ def cmd_overflow(_args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.lint.main import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def cmd_workloads(_args) -> int:
     pairs = {name: profile.description
              + (" [persistent]" if profile.persistent else "")
@@ -192,6 +205,14 @@ def cmd_workloads(_args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["lint"]:
+        # forwarded verbatim: argparse's REMAINDER cannot start at an
+        # option-like token, so simlint parses its own argv
+        from repro.analysis.lint.main import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     handler = {
         "run": cmd_run,
@@ -201,6 +222,7 @@ def main(argv: list[str] | None = None) -> int:
         "storage": cmd_storage,
         "overflow": cmd_overflow,
         "workloads": cmd_workloads,
+        "lint": cmd_lint,
     }[args.command]
     return handler(args)
 
