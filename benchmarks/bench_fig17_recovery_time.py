@@ -14,11 +14,9 @@ import pytest
 
 from benchmarks.conftest import save_and_show
 from repro.analysis.figures import FigureHarness
-from repro.analysis.recovery_model import estimate
 from repro.analysis.report import render_table
 from repro.common.config import small_config
 from repro.common.rng import make_rng
-from repro.common.units import MB
 from repro.sim.runner import make_system
 
 RECOVERABLE = ("asit", "star", "steins-gc", "steins-sc")

@@ -17,7 +17,6 @@ from repro.common.errors import (
     TamperDetectedError,
 )
 from repro.common.rng import make_rng
-from repro.core.controller import SteinsController
 from repro.nvm.layout import Region
 from tests.test_controller_base import make_rig
 from tests.test_steins_controller import steins_rig

@@ -1,7 +1,6 @@
 """Configuration defaults mirror the paper's Table I; invalid configs fail."""
 import pytest
 
-from repro.common import constants as C
 from repro.common.config import (
     CacheConfig,
     ConfigError,

@@ -13,7 +13,7 @@ import pytest
 from repro.baselines.asit import ASITController
 from repro.baselines.star import STARController
 from repro.baselines.wb import WBController
-from repro.common.config import CounterMode, UpdateScheme, small_config
+from repro.common.config import UpdateScheme, small_config
 from repro.common.errors import RecoveryError
 from repro.common.rng import make_rng
 from repro.core.controller import SteinsController

@@ -8,11 +8,7 @@ import pytest
 
 from repro.common.config import CounterMode
 from repro.common.rng import make_rng
-from repro.core.controller import SteinsController
-from repro.core.nvbuffer import BufferedUpdate
-from repro.integrity.node import SITNode
 from repro.nvm.layout import Region
-from tests.test_controller_base import make_rig
 from tests.test_steins_controller import assert_linc_invariant, steins_rig
 
 

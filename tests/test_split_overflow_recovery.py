@@ -6,7 +6,6 @@ the system.  Recovery must regenerate exactly that state from the
 re-encrypted data blocks' echoes, with the LInc accounting absorbing the
 skip jump.
 """
-import pytest
 
 from repro.common.config import CounterMode
 from repro.core.controller import SteinsController

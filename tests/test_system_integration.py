@@ -7,12 +7,10 @@ points, and recovery — with the golden-state validation of
 """
 import pytest
 
-from repro.common.config import CounterMode, small_config
+from repro.common.config import small_config
 from repro.sim.crash import crash_and_recover, run_with_crash
 from repro.sim.runner import VARIANTS, make_system, run_trace
 from repro.sim.system import SCHEMES, SecureNVMSystem, make_layout
-from repro.workloads import get_profile
-from tests.conftest import drive
 
 RECOVERABLE = ("asit", "star", "scue", "steins-gc", "steins-sc")
 ALL_VARIANTS = tuple(VARIANTS)

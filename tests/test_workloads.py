@@ -51,7 +51,8 @@ def test_addresses_within_scaled_footprint(name):
 
 
 def test_write_fractions_match_characters():
-    gen = lambda n: get_profile(n).generate(1, 4000, 4096).write_fraction
+    def gen(n):
+        return get_profile(n).generate(1, 4000, 4096).write_fraction
     assert gen("libquantum") < 0.25          # streaming reads
     assert gen("cactusADM") > 0.35           # write-heavy stencils
     assert gen("pers_swap") == pytest.approx(0.5)   # RMW pairs
