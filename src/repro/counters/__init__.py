@@ -1,10 +1,11 @@
 """Counter-block organisations: general (8x56-bit) and split (major+minors)."""
-from repro.counters.base import CounterBlock, IncrementResult
+from repro.counters.base import CounterBlock, IncrementResult, Snapshot
 from repro.counters.general import GeneralCounterBlock
 from repro.counters.split import OverflowPolicy, SplitCounterBlock
 
 
-def block_from_snapshot(snap: tuple) -> "GeneralCounterBlock | SplitCounterBlock":
+def block_from_snapshot(
+        snap: Snapshot) -> "GeneralCounterBlock | SplitCounterBlock":
     """Rehydrate either block kind from its persisted snapshot."""
     if not snap or not isinstance(snap, tuple):
         raise ValueError(f"not a counter-block snapshot: {snap!r}")
@@ -20,6 +21,7 @@ __all__ = [
     "GeneralCounterBlock",
     "IncrementResult",
     "OverflowPolicy",
+    "Snapshot",
     "SplitCounterBlock",
     "block_from_snapshot",
 ]

@@ -15,7 +15,12 @@ covers 64 data blocks).  Both expose:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Any, Protocol
+
+#: An immutable persistable image of a counter block: a tagged tuple
+#: (kind, *fields) whose exact layout is private to the block kind
+#: that produced it — only ``from_snapshot`` of the same kind reads it.
+Snapshot = tuple[Any, ...]
 
 
 @dataclass(frozen=True)
@@ -52,6 +57,6 @@ class CounterBlock(Protocol):
         """Steins' generated parent counter for this block."""
         ...
 
-    def snapshot(self) -> tuple:
+    def snapshot(self) -> Snapshot:
         """Immutable image for persistence into NVM."""
         ...

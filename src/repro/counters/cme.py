@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.common import constants as C
 from repro.common.bitfield import pack_fields, unpack_fields
 from repro.common.errors import CounterOverflowError
-from repro.counters.base import IncrementResult
+from repro.counters.base import IncrementResult, Snapshot
 
 MINOR_BITS = C.CME_MINOR_COUNTER_BITS          # 7
 MINORS = 64
@@ -74,11 +74,11 @@ class CMESplitCounterBlock:
                                minor_overflow=True)
 
     # ------------------------------------------------------ persistence
-    def snapshot(self) -> tuple:
+    def snapshot(self) -> Snapshot:
         return ("cme", self.major, tuple(self.minors))
 
     @classmethod
-    def from_snapshot(cls, snap: tuple) -> "CMESplitCounterBlock":
+    def from_snapshot(cls, snap: Snapshot) -> "CMESplitCounterBlock":
         kind, major, minors = snap
         if kind != "cme":
             raise ValueError(f"not a CME-block snapshot: {kind!r}")

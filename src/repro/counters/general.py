@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.common import constants as C
 from repro.common.bitfield import pack_fields, unpack_fields
 from repro.common.errors import CounterOverflowError
-from repro.counters.base import IncrementResult
+from repro.counters.base import IncrementResult, Snapshot
 
 _WIDTHS = [C.GENERAL_COUNTER_BITS] * C.GENERAL_COUNTERS_PER_NODE
 
@@ -61,11 +61,11 @@ class GeneralCounterBlock:
         self.counters[slot] = value
 
     # ------------------------------------------------------ persistence
-    def snapshot(self) -> tuple:
+    def snapshot(self) -> Snapshot:
         return ("general", tuple(self.counters))
 
     @classmethod
-    def from_snapshot(cls, snap: tuple) -> "GeneralCounterBlock":
+    def from_snapshot(cls, snap: Snapshot) -> "GeneralCounterBlock":
         kind, counters = snap
         if kind != "general":
             raise ValueError(f"not a general-block snapshot: {kind!r}")

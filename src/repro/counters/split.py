@@ -24,7 +24,7 @@ import enum
 from repro.common import constants as C
 from repro.common.bitfield import pack_fields, unpack_fields
 from repro.common.errors import CounterOverflowError
-from repro.counters.base import IncrementResult
+from repro.counters.base import IncrementResult, Snapshot
 
 _MAJOR_MAX = (1 << C.MAJOR_COUNTER_BITS) - 1
 _WIDTHS = [C.MAJOR_COUNTER_BITS] + \
@@ -108,11 +108,11 @@ class SplitCounterBlock:
                                minor_overflow=True)
 
     # ------------------------------------------------------ persistence
-    def snapshot(self) -> tuple:
+    def snapshot(self) -> Snapshot:
         return ("split", self.major, tuple(self.minors), self.policy.value)
 
     @classmethod
-    def from_snapshot(cls, snap: tuple) -> "SplitCounterBlock":
+    def from_snapshot(cls, snap: Snapshot) -> "SplitCounterBlock":
         kind, major, minors, policy = snap
         if kind != "split":
             raise ValueError(f"not a split-block snapshot: {kind!r}")
