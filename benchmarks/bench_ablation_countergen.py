@@ -5,6 +5,8 @@ it inflates the generated counter ~64x, and justifies the skip update by
 its <= 2x range consumption.  This bench quantifies both under a
 write-heavy workload, plus the raw cost of generation vs an HMAC.
 """
+# simlint: disable-file=SL102 -- host micro-benchmark: perf_counter times
+# Python execution of the generation function, not simulated results
 import time
 
 from benchmarks.conftest import save_and_show

@@ -80,7 +80,7 @@ def test_metadata_eviction_and_refetch_verifies():
     addrs = [int(a) for a in rng.integers(0, 8000, 400)]
     for addr in addrs:
         controller.write_data(addr, addr * 3)
-    for addr in set(addrs):
+    for addr in sorted(set(addrs)):
         assert controller.read_data(addr) == addr * 3
     assert controller.stats.metadata_writebacks > 0
     assert controller.stats.metadata_fetches > 0

@@ -101,13 +101,15 @@ def test_fast_engine_is_much_faster_than_blake2():
     import time
     fast, strong = FastEngine(1), Blake2Engine(1)
     n = 2000
-    t0 = time.perf_counter()
+    # the four perf_counter reads compare host-side engine throughput;
+    # no simulated result depends on them
+    t0 = time.perf_counter()  # simlint: disable=SL102 -- host timing only
     for i in range(n):
         fast.digest64(i, i + 1)
-    t_fast = time.perf_counter() - t0
-    t0 = time.perf_counter()
+    t_fast = time.perf_counter() - t0  # simlint: disable=SL102 -- host timing only
+    t0 = time.perf_counter()  # simlint: disable=SL102 -- host timing only
     for i in range(n):
         strong.digest64(i, i + 1)
-    t_strong = time.perf_counter() - t0
+    t_strong = time.perf_counter() - t0  # simlint: disable=SL102 -- host timing only
     # not a strict benchmark; just assert fast isn't pathologically slow
     assert t_fast < t_strong * 3

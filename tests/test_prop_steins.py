@@ -79,5 +79,5 @@ def test_flush_all_then_cold_restart_equivalent(addrs):
     a.metacache.clear()
     b.crash()
     b.recover()
-    for addr in set(addrs):
+    for addr in sorted(set(addrs)):
         assert a.read_data(addr) == b.read_data(addr)

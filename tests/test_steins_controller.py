@@ -64,7 +64,7 @@ def test_linc_invariant_under_churn():
     for addr in rng.integers(0, 6000, 600):
         controller.write_data(int(addr), int(addr) * 7)
     assert_linc_invariant(controller)
-    for addr in set(int(a) for a in rng.integers(0, 6000, 200)):
+    for addr in sorted(set(int(a) for a in rng.integers(0, 6000, 200))):
         controller.read_data(addr)
     assert_linc_invariant(controller)
 
@@ -140,7 +140,7 @@ def test_reads_correct_with_pending_buffer_entries():
     addrs = [int(a) for a in rng.integers(0, 8000, 600)]
     for addr in addrs:
         controller.write_data(addr, addr ^ 0xF0F0)
-    for addr in set(addrs):
+    for addr in sorted(set(addrs)):
         assert controller.read_data(addr) == addr ^ 0xF0F0
 
 
