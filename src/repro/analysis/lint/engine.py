@@ -42,6 +42,10 @@ PARSE_RULE_NAME = "parse-error"
 
 _SKIP_DIR_SUFFIXES = (".egg-info",)
 
+#: directory names skipped during *directory* discovery — lint-fixture
+#: trees are intentionally dirty; naming a file explicitly still lints it
+DEFAULT_EXCLUDED_DIRS = frozenset({"fixtures"})
+
 
 @dataclass
 class LintResult:
@@ -59,8 +63,14 @@ class LintResult:
             else 0
 
 
-def discover_files(paths: list[str]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``*.py`` files."""
+def discover_files(paths: list[str],
+                   exclude: frozenset[str] = DEFAULT_EXCLUDED_DIRS,
+                   ) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files.
+
+    ``exclude`` names directories pruned while walking (fixture trees
+    that are dirty on purpose); explicitly listed files always lint.
+    """
     found: set[Path] = set()
     for raw in paths:
         path = Path(raw)
@@ -68,6 +78,11 @@ def discover_files(paths: list[str]) -> list[Path]:
             for sub in path.rglob("*.py"):
                 if any(part.startswith(".") or part.endswith(_SKIP_DIR_SUFFIXES)
                        for part in sub.parts):
+                    continue
+                # prune on components *below* the requested root only,
+                # so pointing simlint at a fixture tree still works
+                rel_dirs = sub.relative_to(path).parts[:-1]
+                if any(part in exclude for part in rel_dirs):
                     continue
                 found.add(sub)
         elif path.suffix == ".py":
@@ -119,11 +134,13 @@ def _suppression_hygiene(unit: FileUnit, known: set[str]) -> list[Diagnostic]:
 
 
 def run_lint(paths: list[str], select: set[str] | None = None,
-             ignore: set[str] | None = None) -> LintResult:
+             ignore: set[str] | None = None,
+             exclude: frozenset[str] = DEFAULT_EXCLUDED_DIRS) -> LintResult:
     """Lint ``paths`` with the registered rule set.
 
     ``select``/``ignore`` take rule ids or names; ``select`` restricts
     the run to those rules, ``ignore`` drops rules from it.
+    ``exclude`` prunes directory names during discovery.
     """
     rules: list[Rule] = all_rules()
     if select:
@@ -138,7 +155,7 @@ def run_lint(paths: list[str], select: set[str] | None = None,
 
     units: list[FileUnit] = []
     diagnostics: list[Diagnostic] = []
-    for path in discover_files(paths):
+    for path in discover_files(paths, exclude=exclude):
         loaded = _load_unit(path)
         if isinstance(loaded, Diagnostic):
             diagnostics.append(loaded)

@@ -44,7 +44,9 @@ _STATS_RECEIVERS = frozenset({"stats", "report"})
 
 
 def _is_stats_class(node: ast.ClassDef) -> bool:
-    return node.name.endswith(("Stats", "Report"))
+    # TestFooStats-style test classes are not stats declarations
+    return node.name.endswith(("Stats", "Report")) \
+        and not node.name.startswith("Test")
 
 
 def _declared_names(cls: ast.ClassDef) -> set[str]:

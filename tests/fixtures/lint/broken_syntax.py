@@ -1,0 +1,4 @@
+"""Fixture: does not parse (SL999)."""
+
+
+def truncated(:

@@ -1,0 +1,11 @@
+"""Fixture: float leakage into counter arithmetic (SL201).
+
+Lives under a ``counters/`` directory on purpose: the rule only
+applies inside counter/tree/integrity packages.
+"""
+
+
+def weight(major, minor):
+    scaled = major * 2.0                    # SL201: float constant
+    half = minor / 2                        # SL201: true division
+    return float(scaled + half)             # SL201: float() call

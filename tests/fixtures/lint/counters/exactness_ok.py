@@ -1,0 +1,11 @@
+"""Fixture: exact integer counter arithmetic — no diagnostics expected."""
+
+
+def gensum(major, minors):
+    return (major << 6) + sum(minors)       # shifts and integer adds
+
+
+def utilisation(used: int, total: int) -> float:
+    # functions that *declare* float in their signature are reporting
+    # helpers, exempt from the integer-exactness rule
+    return used / total if total else 0.0

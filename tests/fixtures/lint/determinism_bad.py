@@ -1,0 +1,11 @@
+"""Fixture: determinism violations (SL101/SL102/SL103)."""
+import random                               # SL101: stdlib random
+import time
+
+
+def jitter(stats):
+    delay = random.random()                 # SL101: global RNG draw
+    stamp = time.time()                     # SL102: wall clock
+    for key in {"a", "b", "c"}:             # SL103: set iteration
+        stats.note(key)
+    return delay, stamp

@@ -1,0 +1,8 @@
+"""Fixture: determinism respected — no diagnostics expected."""
+from repro.common.rng import make_rng
+
+
+def addresses(seed, n):
+    rng = make_rng(seed, "fixture")
+    draws = {int(a) for a in rng.integers(0, 100, n)}
+    return [a * 2 for a in sorted(draws)]   # sorted() launders the set

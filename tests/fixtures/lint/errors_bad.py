@@ -1,0 +1,17 @@
+"""Fixture: error-hygiene violations (SL401/SL402)."""
+from repro.common.errors import RecoveryError
+
+
+def swallow(run):
+    try:
+        run()
+    except Exception:                       # SL401: broad, no re-raise
+        pass
+    try:
+        run()
+    except:                                 # SL401: bare except
+        return None
+    try:
+        run()
+    except RecoveryError:                   # SL402: detection swallowed
+        return None

@@ -1,0 +1,19 @@
+"""Fixture: error hygiene respected — no diagnostics expected."""
+from repro.common.errors import RecoveryError
+
+
+def guard(run, log):
+    try:
+        run()
+    except ValueError:                      # specific exception: fine
+        return None
+    try:
+        run()
+    except RecoveryError as exc:            # logged and re-raised: fine
+        log(exc)
+        raise
+    try:
+        run()
+    except Exception as exc:                # broad but re-raised: fine
+        log(exc)
+        raise RuntimeError("wrapped") from exc

@@ -1,0 +1,9 @@
+"""Fixture: persist-discipline violations (SL001/SL002)."""
+
+
+def corrupt(controller, node):
+    controller._inflight[3] = node          # SL001: direct assignment
+    controller._records.append(7)           # SL001: mutator call
+    del controller._leaf_drift[0]           # SL001: delete
+    controller._dirty_count += 1            # SL001: augmented assign
+    return controller._crashed              # SL002: private read

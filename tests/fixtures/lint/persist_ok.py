@@ -1,0 +1,20 @@
+"""Fixture: persist discipline respected — no diagnostics expected."""
+
+
+class Tracker:
+    def __init__(self):
+        self._lines = []
+        self._count = 0
+
+    def record(self, offset):
+        self._lines.append(offset)          # own private state is fine
+        self._count += 1
+
+    def merge(self, other):
+        return super()._merge(other)        # super() counts as self
+
+
+def drive(tracker, controller):
+    tracker.record(4)                       # public API call
+    controller.mark_recovered()             # public API call
+    return controller.inflight_node(3)      # public accessor

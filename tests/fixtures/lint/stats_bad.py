@@ -1,0 +1,18 @@
+"""Fixture: stats-hygiene violations (SL301)."""
+
+
+class FixtureStats:
+    KNOWN_KEYS = frozenset({"replays", "drains"})
+
+    hits: int = 0
+    misses: int = 0
+
+    def bump(self, key, n=1):
+        pass
+
+
+def account(controller):
+    controller.stats.hits += 1              # declared: fine
+    controller.stats.hist += 1              # SL301: typo'd attribute
+    controller.stats.bump("replays")        # declared key: fine
+    controller.stats.bump("replasy")        # SL301: typo'd bump key

@@ -1,0 +1,15 @@
+"""Fixture: stats hygiene respected — no diagnostics expected."""
+
+
+class CleanStats:
+    KNOWN_KEYS = frozenset({"flushes"})
+
+    reads: int = 0
+
+    def bump(self, key, n=1):
+        pass
+
+
+def account(controller):
+    controller.stats.reads += 1
+    controller.stats.bump("flushes")

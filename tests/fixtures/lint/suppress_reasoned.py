@@ -1,0 +1,9 @@
+"""Fixture: reasoned suppressions silence their target rules."""
+import time
+
+
+def stamp(log):
+    # simlint: disable-next=SL102 -- fixture: host-side timing only
+    t = time.time()
+    u = time.time()  # simlint: disable=wall-clock -- fixture: by rule name
+    log(t, u)

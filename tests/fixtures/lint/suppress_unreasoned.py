@@ -1,0 +1,8 @@
+"""Fixture: suppressions that violate hygiene (SL000)."""
+import time
+
+
+def stamp():
+    t = time.time()  # simlint: disable=SL102
+    u = time.time()  # simlint: disable=SL777 -- no such rule exists
+    return t, u

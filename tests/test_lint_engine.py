@@ -1,0 +1,137 @@
+"""simlint engine behavior: discovery, filtering, reporters, CLI."""
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Severity,
+    all_rules,
+    main,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.analysis.lint.engine import discover_files
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+BAD = str(FIXTURES / "determinism_bad.py")
+
+
+class TestDiscovery:
+    def test_fixture_trees_are_pruned_from_directory_walks(self):
+        walked = discover_files(["tests"])
+        assert walked, "tests/ should contain python files"
+        assert not [p for p in walked if "fixtures" in p.parts]
+
+    def test_explicit_fixture_roots_still_lint(self):
+        walked = discover_files([str(FIXTURES)])
+        assert [p for p in walked if p.name == "persist_bad.py"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            discover_files(["no/such/place"])
+
+
+class TestFiltering:
+    def test_select_restricts_to_named_rules(self):
+        result = run_lint([BAD], select={"SL101"})
+        assert {d.rule_id for d in result.diagnostics} == {"SL101"}
+        assert result.rules_run == ["SL101"]
+
+    def test_select_accepts_rule_names(self):
+        result = run_lint([BAD], select={"wall-clock"})
+        assert {d.rule_id for d in result.diagnostics} == {"SL102"}
+
+    def test_ignore_drops_rules(self):
+        result = run_lint([BAD], ignore={"SL101", "SL103"})
+        assert "SL101" not in {d.rule_id for d in result.diagnostics}
+        assert "SL101" not in result.rules_run
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="SL777"):
+            run_lint([BAD], select={"SL777"})
+
+
+class TestSeverityGating:
+    def test_exit_code_thresholds(self):
+        result = run_lint([BAD])
+        assert result.worst() == Severity.ERROR
+        assert result.exit_code(Severity.WARNING) == 1
+        assert result.exit_code(Severity.ERROR) == 1
+        warn_only = run_lint([BAD], select={"SL103"})
+        assert warn_only.worst() == Severity.WARNING
+        assert warn_only.exit_code(Severity.WARNING) == 1
+        assert warn_only.exit_code(Severity.ERROR) == 0
+
+
+class TestReporters:
+    def test_text_report_lines_are_precise_and_sorted(self):
+        result = run_lint([BAD])
+        lines = render_text(result).splitlines()
+        assert lines[0].startswith(
+            f"{BAD}:2:1: ERROR [SL101/unseeded-random]")
+        assert lines[:-1] == sorted(lines[:-1])
+        assert "finding(s)" in lines[-1]
+
+    def test_clean_run_says_so(self):
+        result = run_lint([str(FIXTURES / "persist_ok.py")])
+        assert "clean" in render_text(result)
+
+    def test_json_round_trips(self):
+        result = run_lint([BAD])
+        payload = json.loads(render_json(result))
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert len(payload["diagnostics"]) == len(result.diagnostics)
+        first = payload["diagnostics"][0]
+        assert set(first) == {"path", "line", "col", "rule_id",
+                              "rule_name", "severity", "message"}
+        by_sev = payload["summary"]["by_severity"]
+        assert sum(by_sev.values()) == len(result.diagnostics)
+
+    def test_runs_are_deterministic(self):
+        a = run_lint([str(FIXTURES)])
+        b = run_lint([str(FIXTURES)])
+        assert render_json(a) == render_json(b)
+
+
+class TestRuleCatalogue:
+    def test_ids_are_unique_and_documented(self):
+        rules = all_rules()
+        ids = [r.id for r in rules]
+        assert len(ids) == len(set(ids))
+        for rule in rules:
+            assert rule.description
+            assert rule.invariant
+            assert rule.severity in (Severity.INFO, Severity.WARNING,
+                                     Severity.ERROR)
+
+
+class TestCli:
+    def test_findings_exit_one(self, capsys):
+        assert main([BAD]) == 1
+        out = capsys.readouterr().out
+        assert "SL101" in out
+
+    def test_clean_exit_zero(self, capsys):
+        assert main([str(FIXTURES / "persist_ok.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_fail_on_error_ignores_warnings(self, capsys):
+        assert main([BAD, "--select", "SL103",
+                     "--fail-on", "error"]) == 0
+
+    def test_json_flag_emits_valid_json(self, capsys):
+        main([BAD, "--format", "json"])
+        json.loads(capsys.readouterr().out)
+
+    def test_usage_errors_exit_two(self, capsys):
+        assert main(["/no/such/dir"]) == 2
+        assert main([BAD, "--select", "SL777"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("SL001", "SL101", "SL201", "SL301", "SL401"):
+            assert rule_id in out

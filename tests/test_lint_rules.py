@@ -1,0 +1,132 @@
+"""Per-rule simlint checks against the fixtures under fixtures/lint/.
+
+Each rule family gets a positive fixture (violations at known lines)
+and a negative fixture (idiomatic code that must stay silent).
+"""
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "lint"
+
+
+def lint(*names: str):
+    return run_lint([str(FIXTURES / n) for n in names])
+
+
+def hits(result):
+    """(rule_id, line) pairs, sorted."""
+    return sorted((d.rule_id, d.line) for d in result.diagnostics)
+
+
+class TestPersistRules:
+    def test_flags_every_mutation_kind_and_reads(self):
+        result = lint("persist_bad.py")
+        assert hits(result) == [
+            ("SL001", 5),   # subscript assignment
+            ("SL001", 6),   # mutator method call
+            ("SL001", 7),   # delete
+            ("SL001", 8),   # augmented assignment
+            ("SL002", 9),   # private read
+        ]
+        assert result.exit_code() == 1
+
+    def test_own_state_and_accessors_are_silent(self):
+        assert lint("persist_ok.py").diagnostics == []
+
+
+class TestDeterminismRules:
+    def test_flags_random_wallclock_and_set_iteration(self):
+        result = lint("determinism_bad.py")
+        assert hits(result) == [
+            ("SL101", 2),   # import random
+            ("SL101", 7),   # random.random()
+            ("SL102", 8),   # time.time()
+            ("SL103", 9),   # for over a set literal
+        ]
+
+    def test_seeded_rng_and_sorted_sets_are_silent(self):
+        assert lint("determinism_ok.py").diagnostics == []
+
+
+class TestExactnessRule:
+    def test_flags_floats_in_counter_scope(self):
+        result = lint("counters/exactness_bad.py")
+        assert hits(result) == [
+            ("SL201", 9),   # float literal
+            ("SL201", 10),  # true division
+            ("SL201", 11),  # float() conversion
+        ]
+
+    def test_integer_math_and_declared_float_helpers_are_silent(self):
+        assert lint("counters/exactness_ok.py").diagnostics == []
+
+    def test_rule_is_scoped_to_counter_directories(self, tmp_path):
+        # the same float-laden code outside counters/core/integrity is
+        # not counter math and must not be flagged
+        copy = tmp_path / "reporting.py"
+        copy.write_text(
+            (FIXTURES / "counters" / "exactness_bad.py").read_text())
+        assert run_lint([str(copy)]).diagnostics == []
+
+
+class TestStatsRule:
+    def test_flags_typoed_attr_and_bump_key(self):
+        result = lint("stats_bad.py")
+        assert hits(result) == [
+            ("SL301", 16),  # stats.hist
+            ("SL301", 18),  # bump("replasy")
+        ]
+
+    def test_declared_counters_are_silent(self):
+        assert lint("stats_ok.py").diagnostics == []
+
+    def test_silent_without_collected_declarations(self, tmp_path):
+        # no *Stats class in the analyzed set -> nothing to check against
+        copy = tmp_path / "orphan.py"
+        copy.write_text("def f(c):\n    c.stats.whatever += 1\n")
+        assert run_lint([str(copy)]).diagnostics == []
+
+
+class TestErrorRules:
+    def test_flags_broad_and_swallowed_handlers(self):
+        result = lint("errors_bad.py")
+        assert hits(result) == [
+            ("SL401", 8),   # except Exception: pass
+            ("SL401", 12),  # bare except
+            ("SL402", 16),  # RecoveryError swallowed
+        ]
+
+    def test_specific_or_reraising_handlers_are_silent(self):
+        assert lint("errors_ok.py").diagnostics == []
+
+
+class TestSuppressions:
+    def test_reasoned_directives_silence_by_id_and_name(self):
+        assert lint("suppress_reasoned.py").diagnostics == []
+
+    def test_unreasoned_and_unknown_directives_report_sl000(self):
+        result = lint("suppress_unreasoned.py")
+        assert hits(result) == [
+            ("SL000", 6),   # directive with no reason
+            ("SL000", 7),   # directive naming unknown rule SL777
+            ("SL102", 7),   # the unknown-rule directive suppresses nothing
+        ]
+        # the reason-less directive still suppresses its target rule, so
+        # line 6's time.time() reports only the hygiene problem
+        assert ("SL102", 6) not in hits(result)
+
+
+class TestParseErrors:
+    def test_unparseable_file_reports_sl999(self):
+        result = lint("broken_syntax.py")
+        assert [d.rule_id for d in result.diagnostics] == ["SL999"]
+        assert result.exit_code() == 1
+
+
+def test_src_tree_is_simlint_clean():
+    """Meta-test: the shipped package itself passes its own linter."""
+    result = run_lint(["src"])
+    assert result.diagnostics == [], "\n".join(
+        d.format() for d in result.diagnostics)
+    assert result.files_checked > 80
