@@ -1,0 +1,31 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint simlint ruff mypy all
+
+all: lint test
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint: simlint ruff mypy
+
+simlint:
+	$(PYTHON) -m repro.analysis.lint src/
+	$(PYTHON) -m repro.analysis.lint tests benchmarks --select SL101,SL102,SL103
+
+# ruff/mypy come from the pinned `lint` extra (pip install -e .[lint]);
+# skip with a notice when they are not installed rather than failing
+ruff:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed (pip install -e '.[lint]'); skipping"; \
+	fi
+
+mypy:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed (pip install -e '.[lint]'); skipping"; \
+	fi
