@@ -1,12 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint simlint ruff mypy all
+.PHONY: test lint simlint ruff mypy faults-smoke all
 
 all: lint test
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# ~200 injected crashes across Steins and the no-recovery baseline;
+# exits non-zero on any golden-state divergence
+faults-smoke:
+	$(PYTHON) -m repro faults --scheme steins --scheme wb --crashes 200 --seed 1
 
 lint: simlint ruff mypy
 

@@ -7,13 +7,14 @@ Rule id allocation:
 * SL101-SL199  determinism
 * SL201-SL299  integer exactness
 * SL301-SL399  stats hygiene
-* SL401-SL499  error hygiene
+* SL401-SL499  error and fault-injection hygiene
 * SL999        parse errors (engine-emitted)
 """
 from repro.analysis.lint.rules import (  # noqa: F401  -- registration
     determinism,
     errors,
     exactness,
+    faults,
     persist,
     stats,
 )

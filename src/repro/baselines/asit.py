@@ -23,6 +23,7 @@ from repro.baselines.cachetree import CacheTree
 from repro.baselines.report import RecoveryReport
 from repro.common.config import SystemConfig
 from repro.common.errors import RecoveryError
+from repro.faults.registry import POINT_RECOVERY, fire
 from repro.integrity.node import SITNode
 from repro.nvm.device import NVMDevice
 from repro.nvm.layout import Region
@@ -84,6 +85,7 @@ class ASITController(SecureMemoryController):
         """Read + verify the shadow table, re-install nodes as dirty."""
         if not self._crashed:
             raise RecoveryError("recover() called without a crash")
+        fire(POINT_RECOVERY)
         report = RecoveryReport(self.name)
         entries: dict[int, tuple | None] = {}
         leaf_hashes: list[int] = []
@@ -98,20 +100,25 @@ class ASITController(SecureMemoryController):
         # TamperDetectedError if the shadow table was modified.
         self.cache_tree.rebuild_and_verify(leaf_hashes)
         report.hash(self.num_slots // 4)
+        fire(POINT_RECOVERY)
 
         # Re-install: newest state wins when a node appears in several
         # slots (counters are monotone, so "newest" == larger gensum).
-        best: dict[tuple[int, int], SITNode] = {}
-        for snap in entries.values():
+        # The winning slot rides along so the node can be pinned back to
+        # the cache line its shadow entry already covers.
+        best: dict[tuple[int, int], tuple[SITNode, int]] = {}
+        for slot, snap in entries.items():
             if snap is None:
                 continue
             node = SITNode.from_snapshot(snap)
             key = (node.level, node.index)
             prev = best.get(key)
-            if prev is None or node.gensum() > prev.gensum():
-                best[key] = node
-        self._crashed = False
-        for node in sorted(best.values(), key=lambda n: -n.level):
+            if prev is None or node.gensum() > prev[0].gensum():
+                best[key] = (node, slot)
+        self.mark_recovered()
+        for node, slot in sorted(best.values(),
+                                 key=lambda e: (-e[0].level, e[1])):
+            fire(POINT_RECOVERY)
             offset = self.geometry.node_offset(node.level, node.index)
             # A bump applied to a mid-flush (in-flight) node is persisted
             # with its flush but never shadowed, so the tree copy can be
@@ -123,12 +130,15 @@ class ASITController(SecureMemoryController):
             if tree_snap is not None and \
                     SITNode.from_snapshot(tree_snap).gensum() >= node.gensum():
                 continue
-            self.force_install(offset, node)
-            # Re-shadow at the node's *new* cache slot: the old slot will
-            # be recycled by future occupants, and without fresh coverage
-            # a second crash would lose the restored-but-unmodified state.
+            self.force_install(offset, node, slot=slot)
             installed = self.metacache.peek(offset)
-            if installed is not None:
+            if installed is not None and \
+                    self.metacache.slot_of(offset) != slot:
+                # Landed in a different way: re-shadow at the new slot so
+                # a second crash still covers the restored state.  When
+                # the install is slot-faithful (the common case) the
+                # existing entry already covers it and skipping the write
+                # keeps a restarted recovery byte-identical.
                 self._on_metadata_modified(offset, installed)
                 report.write()
             report.nodes_recovered += 1

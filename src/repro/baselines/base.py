@@ -29,6 +29,7 @@ from repro.counters import OverflowPolicy
 from repro.counters.base import IncrementResult
 from repro.crypto import cme
 from repro.crypto.engine import HashEngine, make_engine
+from repro.faults.registry import fire
 from repro.integrity.geometry import TreeGeometry, geometry_for
 from repro.integrity.metacache import MetadataCache
 from repro.integrity.node import SITNode, make_empty_node
@@ -162,6 +163,7 @@ class SecureMemoryController:
     def write_data(self, block_addr: int, plaintext: int) -> None:
         """Handle a dirty data-block eviction from the LLC (Sec. III-F)."""
         self._check_alive()
+        fire("controller.write")
         t0 = self.clock.now
         g = self.geometry
         leaf_index = g.leaf_for_block(block_addr)
@@ -200,6 +202,7 @@ class SecureMemoryController:
     def read_data(self, block_addr: int) -> int:
         """Handle an LLC demand miss: fetch, decrypt, verify (Sec. III-F)."""
         self._check_alive()
+        fire("controller.read")
         t0 = self.clock.now
         self._pre_read()
         g = self.geometry
@@ -363,6 +366,7 @@ class SecureMemoryController:
                 self.metacache.insert(offset, node, dirty)
                 return
             voff, vnode, _ = victim
+            fire("controller.evict")
             self.metacache.remove(voff)
             self.metacache.stats.evictions += 1
             self.metacache.stats.dirty_evictions += 1
@@ -385,11 +389,23 @@ class SecureMemoryController:
         if self.metacache.mark_dirty(offset):
             self._on_clean_to_dirty(offset, node)
 
-    def force_install(self, offset: int, node: SITNode) -> None:
+    def force_install(self, offset: int, node: SITNode,
+                      slot: int | None = None) -> None:
         """Recovery-side install: the given content is authoritative and
         must land in the cache marked dirty, even if a (stale) copy was
-        pulled in by an eviction chain in the meantime."""
+        pulled in by an eviction chain in the meantime.
+
+        ``slot`` pins the node to the cache line its durable tracking
+        entry (offset record, shadow slot) names, so a reinstall leaves
+        that entry valid without a fresh tracking write — the keystone
+        of restartable recovery: a crash between any two reinstalls
+        still finds every not-yet-reinstalled node covered.
+        """
         existing = self.metacache.peek(offset)
+        if existing is None and slot is not None and \
+                self.metacache.insert_at(offset, node, dirty=False,
+                                         slot=slot):
+            existing = node
         if existing is None:
             self._install(offset, node, dirty=False)
             existing = self.metacache.peek(offset)
@@ -487,6 +503,7 @@ class SecureMemoryController:
             for offset, node in dirty:
                 if not self.metacache.is_dirty(offset):
                     continue  # an eviction or deeper flush already did it
+                fire("controller.flush")
                 self._flush_dirty_node(node)
                 if self.metacache.contains(offset):
                     self.metacache.mark_clean(offset)

@@ -31,6 +31,7 @@ from repro.common.errors import RecoveryError, ReplayDetectedError, \
 from repro.counters import GeneralCounterBlock, SplitCounterBlock
 from repro.counters.base import IncrementResult
 from repro.crypto import cme
+from repro.faults.registry import POINT_RECOVERY, fire
 from repro.integrity.node import SITNode
 from repro.nvm.adr import NonVolatileRegister
 from repro.nvm.device import NVMDevice
@@ -123,6 +124,7 @@ class SCUEController(SecureMemoryController):
         """Rebuild the entire tree from the data region (Sec. II-D)."""
         if not self._crashed:
             raise RecoveryError("recover() called without a crash")
+        fire(POINT_RECOVERY)
         report = RecoveryReport(self.name)
         g = self.geometry
 
@@ -140,6 +142,7 @@ class SCUEController(SecureMemoryController):
         rebuilt: dict[tuple[int, int], SITNode] = {}
         total = 0
         for leaf_index in sorted(leaves):
+            fire(POINT_RECOVERY)
             node = self._rebuild_leaf(leaf_index, report)
             rebuilt[(0, leaf_index)] = node
             total += node.gensum()
@@ -159,8 +162,12 @@ class SCUEController(SecureMemoryController):
         # 4. re-sum the intermediate levels bottom-up, re-persisting every
         #    rebuilt node sealed under its regenerated counter — writing
         #    the *whole tree* back is part of SCUE's recovery bill
+        #    (the rebuilt snapshots are pure functions of the untouched
+        #    data region, so a crash anywhere in this sweep re-runs it
+        #    with byte-identical pokes)
         current = {index: node for (lvl, index), node in rebuilt.items()}
         for level in range(g.num_levels):
+            fire(POINT_RECOVERY)
             for index, node in current.items():
                 node.seal(self.engine, node.gensum())
                 report.hash()
@@ -182,7 +189,7 @@ class SCUEController(SecureMemoryController):
                 parent.block.set_counter(index % g.arity, node.gensum())
             current = parents
 
-        self._crashed = False
+        self.mark_recovered()
         return report
 
     def _rebuild_leaf(self, leaf_index: int,

@@ -29,6 +29,7 @@ from repro.common.config import SystemConfig
 from repro.common.errors import RecoveryError, TamperDetectedError
 from repro.counters import GeneralCounterBlock, SplitCounterBlock
 from repro.crypto import cme
+from repro.faults.registry import POINT_RECOVERY, fire
 from repro.integrity.node import SITNode
 from repro.nvm.device import NVMDevice
 from repro.nvm.layout import Region
@@ -226,8 +227,10 @@ class STARController(SecureMemoryController):
         via the dirty-set cache-tree."""
         if not self._crashed:
             raise RecoveryError("recover() called without a crash")
+        fire(POINT_RECOVERY)
         report = RecoveryReport(self.name)
         offsets = self.bitmap.scan_dirty(report)
+        fire(POINT_RECOVERY)
         recovered: dict[int, SITNode] = {}
         for offset in sorted(offsets):
             level, index = self.geometry.offset_to_node(offset)
@@ -246,10 +249,16 @@ class STARController(SecureMemoryController):
         report.hash(self.num_sets)
         self.cache_tree.rebuild_and_verify(leaf_hashes)
         report.hash(self.num_sets // 4)
+        fire(POINT_RECOVERY)
 
-        self._crashed = False
+        # Every step above only read NVM and the reinstall below only
+        # repopulates volatile state (the bitmap bits are already set,
+        # the rebuilt set-MACs equal the crashed cache-tree's leaves), so
+        # a crash at any point simply restarts an identical recovery.
+        self.mark_recovered()
         for offset, node in sorted(recovered.items(),
-                                   key=lambda e: -e[1].level):
+                                   key=lambda e: (-e[1].level, e[0])):
+            fire(POINT_RECOVERY)
             self.force_install(offset, node)
         return report
 

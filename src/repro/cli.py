@@ -9,6 +9,7 @@ Commands
 ``storage``   the Sec. IV-E storage-overhead table
 ``overflow``  the Sec. III-B.2 counter-lifetime analysis
 ``workloads`` list the available workload profiles
+``faults``    deterministic fault-injection campaign (see docs/fault_injection.md)
 ``lint``      run simlint over the tree (see ``repro.analysis.lint``)
 """
 from __future__ import annotations
@@ -77,6 +78,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("storage", help="Sec. IV-E storage overhead")
     sub.add_parser("overflow", help="Sec. III-B.2 counter lifetimes")
     sub.add_parser("workloads", help="list workload profiles")
+
+    from repro.sim.system import SCHEMES
+
+    faults = sub.add_parser(
+        "faults", help="deterministic fault-injection campaign")
+    faults.add_argument("--scheme", action="append",
+                        choices=sorted(SCHEMES), default=None,
+                        help="scheme to sweep (repeatable; default steins)")
+    faults.add_argument("--workload", action="append",
+                        choices=sorted(ALL_PROFILES), default=None,
+                        help="workload trace (repeatable; "
+                             "default pers_hash)")
+    faults.add_argument("--crashes", type=int, default=200,
+                        help="total injected crashes across all cells")
+    faults.add_argument("--seed", type=int, default=2024)
+    faults.add_argument("--accesses", type=int, default=400,
+                        help="trace length per case")
+    faults.add_argument("--footprint", type=int, default=2048,
+                        help="trace footprint in data blocks")
+    faults.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
 
     lint = sub.add_parser(
         "lint", help="run simlint (crash-consistency/determinism checks)",
@@ -190,6 +212,26 @@ def cmd_overflow(_args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    # campaign imports the simulator stack; keep it off the path of the
+    # other subcommands
+    from repro.analysis.report import render_campaign
+    from repro.faults.campaign import run_campaign
+
+    report = run_campaign(
+        schemes=args.scheme or ["steins"],
+        workloads=args.workload or ["pers_hash"],
+        crashes=args.crashes, seed=args.seed,
+        accesses=args.accesses, footprint=args.footprint)
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_campaign(report))
+    return 1 if report["outcomes"].get("diverged") else 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.lint.main import main as lint_main
 
@@ -222,6 +264,7 @@ def main(argv: list[str] | None = None) -> int:
         "storage": cmd_storage,
         "overflow": cmd_overflow,
         "workloads": cmd_workloads,
+        "faults": cmd_faults,
         "lint": cmd_lint,
     }[args.command]
     return handler(args)

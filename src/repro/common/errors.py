@@ -45,3 +45,18 @@ class RecoveryError(ReproError):
 class CounterOverflowError(ReproError):
     """A counter exceeded its bit budget where the model treats overflow as
     an error (major counters; see the paper's overflow analysis)."""
+
+
+class CrashInjected(ReproError):
+    """A planned power failure fired at a ``repro.faults`` injection point.
+
+    This is harness control flow, not a detection outcome, so it is
+    deliberately *outside* the lint-guarded detection set
+    (``IntegrityError``/``RecoveryError``): the fault campaign catches it
+    to simulate the crash without tripping the swallowed-detection rule.
+    """
+
+    def __init__(self, message: str, point: str = "") -> None:
+        super().__init__(message)
+        #: the injection-point name the crash fired at
+        self.point = point

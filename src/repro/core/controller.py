@@ -29,7 +29,9 @@ from repro.counters.base import IncrementResult
 from repro.core.lincs import LIncRegister
 from repro.core.nvbuffer import BufferedUpdate, NVParentBuffer
 from repro.core.tracking import OffsetRecordTracker
+from repro.faults.registry import atomic, fire, residual_budget
 from repro.integrity.node import SITNode
+from repro.nvm.adr import ADRDomain
 from repro.nvm.device import NVMDevice
 
 
@@ -62,6 +64,15 @@ class SteinsController(SecureMemoryController):
             cache_lines=cfg.security.record_cache_lines,
             device=device)
         self.nv_buffer = NVParentBuffer(cfg.security.nv_buffer_entries)
+        # the record-line cache lives in the controller's ADR domain
+        # (Sec. III-C): residual power flushes it at crash time, metered
+        # against the fault plan's energy budget when one is armed
+        self.adr = ADRDomain(
+            capacity_bytes=cfg.security.record_cache_lines * 64)
+        self.adr.register(
+            "record-lines", cfg.security.record_cache_lines * 64,
+            flush=OffsetRecordTracker.flush_on_crash, wants_budget=True)
+        self.adr.put("record-lines", self.tracker)
         self._osiris = cfg.security.leaf_recovery == "osiris"
         #: per-leaf increments since the last persist (Osiris mode only)
         self._leaf_drift: dict[int, int] = {}
@@ -172,29 +183,34 @@ class SteinsController(SecureMemoryController):
             return
         # draining or buffer full: fetch the parent now (off the data
         # write's critical path).  While the fetch walk runs, the update
-        # exists only in _pending_applies, which verification consults.
+        # exists only in _pending_applies, which verification consults —
+        # a crash inside the walk would lose a persisted child's pending
+        # LInc transfer, so the whole fetch-and-apply is one
+        # crash-atomic transaction (the hardware latches the pending
+        # counter until the walk lands).
         key = (level, index)
         outer_pending = self._pending_applies.get(key)
         self._pending_applies[key] = generated
-        try:
-            pnode = self._ensure_node(*parent)
-        finally:
-            if outer_pending is None:
-                self._pending_applies.pop(key, None)
-            else:
-                self._pending_applies[key] = outer_pending
-        self.nv_buffer.remove_superseded(level, index, generated)
-        old = pnode.counter(slot)
-        if old >= generated:
-            # a nested apply of the same child (with a newer counter)
-            # landed during the fetch walk and its transfer, computed
-            # against the older slot, already covers this one
-            return
-        pnode.block.set_counter(slot, generated)
-        self._mark_dirty(parent_offset, pnode)
-        self._on_metadata_modified(parent_offset, pnode)
-        self.lincs.transfer(level, level + 1, generated - old)
-        self.clock.sram_op()
+        with atomic():
+            try:
+                pnode = self._ensure_node(*parent)
+            finally:
+                if outer_pending is None:
+                    self._pending_applies.pop(key, None)
+                else:
+                    self._pending_applies[key] = outer_pending
+            self.nv_buffer.remove_superseded(level, index, generated)
+            old = pnode.counter(slot)
+            if old >= generated:
+                # a nested apply of the same child (with a newer counter)
+                # landed during the fetch walk and its transfer, computed
+                # against the older slot, already covers this one
+                return
+            pnode.block.set_counter(slot, generated)
+            self._mark_dirty(parent_offset, pnode)
+            self._on_metadata_modified(parent_offset, pnode)
+            self.lincs.transfer(level, level + 1, generated - old)
+            self.clock.sram_op()
 
     @staticmethod
     def _check_monotone(old: int, generated: int, level: int,
@@ -222,6 +238,7 @@ class SteinsController(SecureMemoryController):
                 update = self.nv_buffer.peek_first()
                 if update is None:
                     return
+                fire("steins.drain")
                 self._apply_parent_update(
                     update.child_level, update.child_index,
                     update.generated_counter, allow_buffer=False)
@@ -238,13 +255,18 @@ class SteinsController(SecureMemoryController):
     def _parent_counter(self, level: int, index: int) -> int:
         """Like the base walk, but a pending update for this child —
         in-progress (register) or deferred (NV buffer) — supersedes the
-        stale parent copy."""
+        stale parent copy.
+
+        Both sources can hold a counter at once: a drain applying an old
+        deferred entry latches it in the register while a newer eviction
+        of the same child still sits in the buffer.  The child's NVM copy
+        is sealed under its newest generated counter, so the newest
+        pending value is the one that verifies.
+        """
         in_progress = self._pending_applies.get((level, index))
-        if in_progress is not None:
-            return in_progress
         pending = self.nv_buffer.latest_counter_for(level, index)
-        if pending is not None:
-            return pending
+        if in_progress is not None or pending is not None:
+            return max(v for v in (in_progress, pending) if v is not None)
         return super()._parent_counter(level, index)
 
     # -------------------------------------------------------- lifecycle
@@ -262,9 +284,10 @@ class SteinsController(SecureMemoryController):
         raise AssertionError("flush_all failed to settle the NV buffer")
 
     def _crash_volatile_state(self) -> None:
-        # ADR residual power persists the cached record lines; the LInc
+        # ADR residual power persists the cached record lines — under an
+        # injected fault, against that crash's energy budget; the LInc
         # register, NV buffer, and root are non-volatile already.
-        self.tracker.flush_on_crash()
+        self.adr.flush_on_crash(residual_budget())
         self._leaf_drift.clear()
         self._pending_applies.clear()
 

@@ -22,9 +22,22 @@ Recovery proceeds:
       level total against the (buffer-adjusted) stored L_k Inc — a
       replayed child makes the computed total *smaller*, exposing the
       replay (Sec. III-D).
-4. Re-install every recovered node into the metadata cache marked dirty
-   (so future flushes propagate normally), reset the record region, and
-   restore the LInc register to the verified totals.
+4. Commit: restore the LInc register to the verified totals, clear the
+   NV buffer, and mark the controller recovered — one on-chip register
+   transaction.
+5. Re-install every *live* recovered node (content differs from its
+   stale copy) into the metadata cache marked dirty, each pinned to a
+   cache slot its offset record already names.
+
+The protocol is **restartable**: steps 1-3 only read, step 4 is atomic,
+and step 5 mutates volatile state whose durable coverage (the records)
+was never erased — so a crash at any point (``repro.faults`` injects
+them between every two steps) leaves a state from which a second
+recovery reaches the identical result.  Buffered parents that have no
+record yet get one written *before* the commit (idempotent
+read-modify-writes), and stale records are never reset: recovering a
+clean node is harmless (Sec. III-H) and keeping the records is what
+keeps a half-done reinstall recoverable.
 """
 from __future__ import annotations
 
@@ -38,6 +51,7 @@ from repro.common.errors import (
 )
 from repro.counters import GeneralCounterBlock, SplitCounterBlock
 from repro.crypto import cme
+from repro.faults.registry import POINT_RECOVERY, atomic, fire
 from repro.integrity.node import SITNode, make_empty_node
 from repro.nvm.layout import Region
 
@@ -57,22 +71,25 @@ class SteinsRecovery:
         self._recovered: dict[int, SITNode] = {}
         #: verified *stale* nodes read from NVM during the sweep
         self._stale: dict[int, SITNode] = {}
+        #: the record map {cache slot: offset} read in step 1
+        self._records: dict[int, int] = {}
 
     # ------------------------------------------------------------- run
     def run(self) -> RecoveryReport:
         c, g = self.c, self.g
-        offsets, lines_read = c.tracker.read_all_offsets(c.device)
+        fire(POINT_RECOVERY)
+        records, lines_read = c.tracker.read_records(c.device)
+        self._records = records
         self.report.read(lines_read)
         self.report.bump("record_lines", lines_read)
 
         by_level: dict[int, set[int]] = {k: set() for k in range(g.num_levels)}
-        for offset in offsets:
+        for offset in records.values():
             level, _ = g.offset_to_node(offset)
             by_level[level].add(offset)
 
         expected = list(c.lincs.values())
         pending_by_parent_level = self._plan_nv_buffer(by_level)
-
 
         computed = [0] * g.num_levels
         for level in range(g.top_level, -1, -1):
@@ -91,6 +108,7 @@ class SteinsRecovery:
                 raise TamperDetectedError(
                     f"L_{level}Inc mismatch: computed {computed[level]} > "
                     f"stored {expected[level]}")
+            fire(POINT_RECOVERY)
 
         self._reinstall(expected)
         return self.report
@@ -100,14 +118,19 @@ class SteinsRecovery:
                         ) -> dict[int, list]:
         """Fig. 8 step 5 planning: a buffered entry (child at level k,
         generated counter) means the child was persisted but neither the
-        parent nor the LIncs were updated."""
+        parent nor the LIncs were updated.
+
+        The buffer is only *read* here; it is cleared by the atomic
+        commit in :meth:`_reinstall`, so a crash anywhere during the
+        sweep leaves the pending updates in place for the next attempt.
+        """
         c, g = self.c, self.g
         # group by the *parent's* level so each batch is replayed exactly
         # when that level is being recovered (FIFO order preserved);
         # parents join the to-recover set (their regeneration from the
         # persisted children picks up the new child state automatically)
         plan: dict[int, list] = {}
-        for update in c.nv_buffer.drain():
+        for update in c.nv_buffer.entries:
             parent = g.parent(update.child_level, update.child_index)
             if parent is None:
                 # root parents are updated immediately at runtime and
@@ -267,13 +290,126 @@ class SteinsRecovery:
 
     # -------------------------------------------------------- install
     def _reinstall(self, verified_lincs: list[int]) -> None:
-        """Put every recovered node back in the metadata cache *dirty*
-        (Sec. III-G), reset the records, restore the LIncs."""
+        """Commit the registers and put every *live* recovered node back
+        in the metadata cache dirty (Sec. III-G), restartably.
+
+        Ordering is what makes a crash-during-recovery safe:
+
+        1. plan — each live offset is pinned to the lowest cache slot
+           its record names (the record then stays valid for free);
+        2. cover — buffer-parents without a record get one written now,
+           while the buffer still guarantees their recovery (idempotent
+           writes, crash here re-runs identically);
+        3. commit — LIncs, buffer clear, and the liveness flip are one
+           on-chip register transaction;
+        4. reinstall — volatile installs, top-down; every to-be-dirty
+           node stays record-covered throughout, so a crash between any
+           two installs recovers to the same state.
+
+        Records are *not* reset: stale entries name clean nodes, whose
+        recovery is a no-op (Sec. III-H).
+        """
         c = self.c
-        c.lincs.set_all(verified_lincs)
-        c.tracker.reset()
-        c.mark_recovered()
-        for offset, node in sorted(self._recovered.items(),
-                                   key=lambda e: -e[1].level):
-            c.force_install(offset, node)
-        self.report.bump("reinstalled", len(self._recovered))
+        # live = actually advanced beyond the stale NVM copy; a clean
+        # recorded node recovers to exactly its stale self and needs no
+        # reinstall (and must not occupy a way on a restarted pass)
+        live: dict[int, SITNode] = {}
+        for offset, node in self._recovered.items():
+            stale = self._stale[offset]
+            if node.block.to_packed() != stale.block.to_packed():
+                live[offset] = node
+
+        slot_for: dict[int, int] = {}
+        for slot in sorted(self._records):
+            offset = self._records[slot]
+            if offset in live:
+                slot_for.setdefault(offset, slot)
+
+        # buffer-parents recovered via the NV buffer may have no record
+        # yet: write one before the commit empties the buffer, so they
+        # are durably covered the instant they become cache-resident
+        reserved = set(slot_for.values())
+        for offset in sorted(o for o in live if o not in slot_for):
+            fire(POINT_RECOVERY)
+            slot = self._claim_slot(offset, reserved)
+            if slot is None:
+                continue  # no free way: the fallback install records it
+            slot_for[offset] = slot
+            reserved.add(slot)
+            c.tracker.write_record(slot, offset)
+            self.report.write()
+
+        # A set with more live nodes than ways cannot keep them all
+        # resident: its eviction chains flush the excess durably and
+        # re-key offset records as residency changes — states that are
+        # only consistent once the whole set is back.  Such sets (and in
+        # particular any node _claim_slot could not cover above) must
+        # reinstall inside the register-commit transaction; every other
+        # install is slot-pinned, touches nothing but its own way, and
+        # can crash between any two nodes.
+        by_set: dict[int, list[int]] = {}
+        for offset in live:
+            by_set.setdefault(c.metacache.set_index(offset),
+                              []).append(offset)
+        overflow = {s for s, members in by_set.items()
+                    if len(members) > c.metacache.ways}
+        # Eviction chains also demand every *live ancestor* of an
+        # overflow member be resident before the member installs: a
+        # flushed child whose live parent is still NVM-stale would park
+        # a buffered update whose replay baseline (the stale parent
+        # slot) undercounts what the runtime already transferred into
+        # the LIncs.  Pull those ancestors into the commit so the whole
+        # reinstall stays globally top-down.
+        in_commit = {o for o in live
+                     if c.metacache.set_index(o) in overflow}
+        g = self.g
+        for offset in sorted(in_commit):
+            level, index = live[offset].level, live[offset].index
+            while True:
+                parent = g.parent(level, index)
+                if parent is None:
+                    break
+                level, index = parent
+                poff = g.node_offset(level, index)
+                if poff in live:
+                    in_commit.add(poff)
+        order = sorted(live, key=lambda o: (-live[o].level, o))
+
+        fire(POINT_RECOVERY)
+        # the LInc restore, the buffer clear, and the liveness flip
+        # commit as one on-chip register transaction: a crash lands
+        # entirely before it (nothing changed; recovery restarts
+        # identically) or entirely after (recovery is complete but for
+        # the record-covered volatile reinstall below)
+        with atomic():
+            c.lincs.set_all(verified_lincs)
+            c.nv_buffer.drain()
+            c.mark_recovered()
+            # top-down, so an eviction-flushed child always finds its
+            # live parent already reinstalled
+            for offset in order:
+                if offset in in_commit:
+                    c.force_install(offset, live[offset],
+                                    slot=slot_for.get(offset))
+
+        for offset in order:
+            if offset in in_commit:
+                continue
+            fire(POINT_RECOVERY)
+            c.force_install(offset, live[offset],
+                            slot=slot_for.get(offset))
+        self.report.bump("reinstalled", len(live))
+
+    def _claim_slot(self, offset: int, reserved: set[int]) -> int | None:
+        """A cache slot in ``offset``'s set not claimed by a live node.
+
+        Deterministic (lowest free way first) so a restarted recovery
+        re-claims the same slots — by then they carry records and are
+        found via the normal plan.
+        """
+        cache = self.c.metacache
+        base = cache.set_index(offset) * cache.ways
+        for way in range(cache.ways):
+            if base + way not in reserved:
+                return base + way
+        return None

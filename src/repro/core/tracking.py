@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.common.constants import OFFSET_EMPTY, OFFSETS_PER_RECORD_LINE
 from repro.common.errors import ConfigError
+from repro.faults.torn import WORDS_PER_LINE, tear_value
 from repro.nvm.device import NVMDevice
 from repro.nvm.layout import Region
 
@@ -28,6 +29,7 @@ from repro.nvm.layout import Region
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.faults.registry import ResidualBudget
     from repro.sim.clock import MemClock
 
 #: a record line is persisted as a tuple of 16 offsets
@@ -51,7 +53,8 @@ class OffsetRecordTracker:
         self._cached: dict[int, list[int]] = {}
         self._dirty: set[int] = set()
         self.stats = {"record_updates": 0, "line_fills": 0,
-                      "line_writebacks": 0}
+                      "line_writebacks": 0, "crash_lost_lines": 0,
+                      "crash_torn_lines": 0}
 
     # ----------------------------------------------------------- update
     def record(self, slot: int, offset: int, clock: "MemClock") -> None:
@@ -81,11 +84,15 @@ class OffsetRecordTracker:
         """
         if len(self._cached) >= self.capacity:
             victim_idx = next(iter(self._cached))
-            victim = self._cached.pop(victim_idx)
+            # write the victim back *before* dropping it from the cache:
+            # a crash between the two must still see the line somewhere
+            # (either the ADR flush of the cached copy or the NVM copy)
             if victim_idx in self._dirty:
-                self._dirty.discard(victim_idx)
-                clock.nvm_write(Region.RECORDS, victim_idx, tuple(victim))
+                clock.nvm_write(Region.RECORDS, victim_idx,
+                                tuple(self._cached[victim_idx]))
                 self.stats["line_writebacks"] += 1
+                self._dirty.discard(victim_idx)
+            self._cached.pop(victim_idx)
         stored, _done = clock.nvm_read_overlapped(Region.RECORDS, line_idx)
         line = list(stored) if stored is not None else list(_EMPTY_LINE)
         self._cached[line_idx] = line
@@ -93,14 +100,33 @@ class OffsetRecordTracker:
         return line
 
     # ------------------------------------------------------------ crash
-    def flush_on_crash(self) -> None:
+    def flush_on_crash(self, budget: "ResidualBudget | None" = None) -> None:
         """ADR residual-power flush of dirty cached record lines.
 
-        Writes through the device directly (the system is powering off;
-        there is no simulated time to account)."""
+        Writes land past the write-pending queue (the system is powering
+        off; there is no simulated time to account and the WPQ has
+        already been resolved).  Under an injected energy budget each
+        line costs 8 words: a partially funded line persists a valid
+        mixed prefix of its 16 entries, an unfunded line is lost —
+        recovery then sees an incomplete record set, which the fault
+        campaign classifies as a detected loss, never silent corruption.
+        """
         for line_idx in sorted(self._dirty):
-            self.device.write(Region.RECORDS, line_idx,
-                              tuple(self._cached[line_idx]))
+            line = tuple(self._cached[line_idx])
+            if budget is None:
+                self.device.write_through(Region.RECORDS, line_idx, line)
+                continue
+            words = budget.take(WORDS_PER_LINE)
+            if words == 0:
+                self.stats["crash_lost_lines"] += 1
+                continue
+            if words < WORDS_PER_LINE:
+                stored = self.device.peek(Region.RECORDS, line_idx)
+                base = tuple(stored) if isinstance(stored, tuple) \
+                    else _EMPTY_LINE
+                line = tear_value(base, line, words)
+                self.stats["crash_torn_lines"] += 1
+            self.device.write_through(Region.RECORDS, line_idx, line)
         self._dirty.clear()
         self._cached.clear()
 
@@ -115,20 +141,45 @@ class OffsetRecordTracker:
         self._dirty.clear()
 
     # --------------------------------------------------------- recovery
-    def read_all_offsets(self, device: NVMDevice) -> tuple[set[int], int]:
-        """Recovery scan: every recorded offset, deduplicated.
+    def read_records(self, device: NVMDevice) -> tuple[dict[int, int], int]:
+        """Recovery scan: the full ``{cache slot: offset}`` record map.
 
-        Returns ``(offsets, lines_read)``; the caller charges the reads
+        Returns ``(records, lines_read)``; the caller charges the reads
         to its recovery report.  Reads bypass the (cleared) ADR cache.
         """
-        offsets: set[int] = set()
+        records: dict[int, int] = {}
         lines_read = 0
         for line_idx in range(self.num_record_lines):
             stored = device.peek(Region.RECORDS, line_idx)
             lines_read += 1
             if stored is None:
                 continue
-            for offset in stored:
+            for entry, offset in enumerate(stored):
                 if offset != OFFSET_EMPTY:
-                    offsets.add(offset)
-        return offsets, lines_read
+                    records[line_idx * OFFSETS_PER_RECORD_LINE + entry] = \
+                        offset
+        return records, lines_read
+
+    def read_all_offsets(self, device: NVMDevice) -> tuple[set[int], int]:
+        """Recovery scan: every recorded offset, deduplicated."""
+        records, lines_read = self.read_records(device)
+        return set(records.values()), lines_read
+
+    def write_record(self, slot: int, offset: int) -> None:
+        """Recovery-side record write: read-modify-write the record line
+        directly in NVM (the ADR cache is empty after a crash).
+
+        Idempotent — an entry that already names ``offset`` costs no
+        write, which is what makes a restarted recovery re-run these
+        steps safely.
+        """
+        if not 0 <= slot < self.num_slots:
+            raise ConfigError(f"slot {slot} out of range")
+        line_idx, entry = divmod(slot, OFFSETS_PER_RECORD_LINE)
+        stored = self.device.peek(Region.RECORDS, line_idx)
+        base = list(stored) if isinstance(stored, tuple) \
+            else list(_EMPTY_LINE)
+        if base[entry] == offset:
+            return
+        base[entry] = offset
+        self.device.write(Region.RECORDS, line_idx, tuple(base))

@@ -1,0 +1,35 @@
+"""Fault injection: crashes between persists, torn writes, ADR budgets.
+
+The registry and the torn-write model are dependency-free and imported
+by the instrumented low layers (device, ADR, metacache, controllers).
+The campaign runner lives in :mod:`repro.faults.campaign` and is *not*
+re-exported here — it imports ``repro.sim.system``, which would close an
+import cycle through the controllers that call :func:`fire`.
+"""
+from repro.faults.registry import (
+    INJECTION_POINTS,
+    POINT_RECOVERY,
+    FaultPlan,
+    ResidualBudget,
+    active_plan,
+    armed,
+    atomic,
+    fire,
+    residual_budget,
+)
+from repro.faults.torn import WORDS_PER_LINE, TornLine, tear_value
+
+__all__ = [
+    "INJECTION_POINTS",
+    "POINT_RECOVERY",
+    "FaultPlan",
+    "ResidualBudget",
+    "TornLine",
+    "WORDS_PER_LINE",
+    "active_plan",
+    "armed",
+    "atomic",
+    "fire",
+    "residual_budget",
+    "tear_value",
+]

@@ -1,0 +1,311 @@
+"""Deterministic fault-injection campaign over schemes and workloads.
+
+One *case* is one simulated machine driven through one trace with one
+:class:`~repro.faults.registry.FaultPlan` armed: a crash fires at a
+chosen injection point mid-operation (optionally with an exhausted ADR
+energy budget, optionally followed by a second crash *inside* the
+recovery that follows), the machine recovers, the recovered state is
+validated against the golden pre-crash snapshot, the rest of the trace
+runs, and every persisted block is read back through the secure path.
+
+The campaign spreads crash points evenly (with seeded jitter) over the
+fire span a probe run measures, so coverage tracks the instrumented
+persist boundaries rather than wall-clock or access counts.  Everything
+derives from ``make_rng(seed, ...)``: two runs with the same arguments
+produce the same report, byte for byte.
+
+Outcome classes
+---------------
+
+``recovered``
+    Full success: recovery validated, trace resumed, read-back clean.
+``detected``
+    A lossy plan (finite ``residual_words``) lost state and a detection
+    error surfaced — the acceptable failure mode (Sec. III-H).
+``data_loss``
+    A lossy plan rolled back writes the reference model had counted as
+    persisted; expected only when the ADR energy contract is broken.
+``unsupported``
+    The scheme has no recovery path (WB) — crash coverage still
+    exercises its runtime persist boundaries.
+``no_crash``
+    The plan's trigger lay beyond the trace's fire span.
+``diverged``
+    Anything else: silent corruption, lost state, or a detection error
+    under a *healthy* ADR.  Always a bug; the campaign minimizes the
+    reproducing trace prefix and fails the run.
+
+This module imports :mod:`repro.sim` and therefore must never be pulled
+in by ``repro.faults.__init__`` (the registry is imported from the hot
+paths the simulator is built out of).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.config import SystemConfig, small_config
+from repro.common.errors import (
+    CrashInjected,
+    IntegrityError,
+    RecoveryError,
+)
+from repro.common.rng import make_rng
+from repro.faults.registry import FaultPlan, armed
+from repro.sim.crash import capture_golden, check_recovered
+from repro.sim.system import SecureNVMSystem
+from repro.workloads import get_profile
+from repro.workloads.trace import TraceArrays
+
+
+@dataclass(frozen=True)
+class CampaignCase:
+    """One planned crash scenario."""
+
+    scheme: str
+    workload: str
+    crash_after: int
+    recovery_crash_after: int | None = None
+    residual_words: int | None = None
+
+    @property
+    def lossy(self) -> bool:
+        """True when the plan models exhausted ADR residual energy."""
+        return self.residual_words is not None
+
+
+@dataclass
+class CaseResult:
+    """What one executed case produced."""
+
+    case: CampaignCase
+    outcome: str
+    crash_point: str = ""
+    crash_index: int = -1
+    recovery_crashed: bool = False
+    detail: str = ""
+
+
+def _step(system: SecureNVMSystem, trace: TraceArrays, i: int) -> None:
+    """Drive one trace access (writes are persisted via clwb)."""
+    system.advance(float(trace.gap_cycles[i]))
+    if trace.is_write[i]:
+        system.store(int(trace.address[i]), flush=True)
+    else:
+        system.load(int(trace.address[i]))
+
+
+def probe_fire_total(scheme: str, cfg: SystemConfig,
+                     trace: TraceArrays) -> int:
+    """Count-only run: how many runtime fires this trace produces."""
+    system = SecureNVMSystem(scheme, cfg, check=True)
+    with armed(FaultPlan()) as plan:
+        for i in range(len(trace)):
+            _step(system, trace, i)
+    return plan.run_fires
+
+
+def build_cases(schemes: list[str], workloads: list[str], crashes: int,
+                seed: int, cfg: SystemConfig,
+                traces: dict[str, TraceArrays]
+                ) -> tuple[list[CampaignCase], dict[str, int]]:
+    """Spread ``crashes`` cases over every scheme x workload cell.
+
+    Crash points are evenly spaced over the cell's probed fire span with
+    +-1 seeded jitter; every 5th case adds a crash-during-recovery
+    trigger and every 7th a finite ADR energy budget.
+    """
+    cells = [(s, w) for s in schemes for w in workloads]
+    per_cell = max(1, crashes // len(cells))
+    cases: list[CampaignCase] = []
+    spans: dict[str, int] = {}
+    for scheme, workload in cells:
+        span = probe_fire_total(scheme, cfg, traces[workload])
+        spans[f"{scheme}/{workload}"] = span
+        rng = make_rng(seed, "faults", scheme, workload)
+        for j in range(per_cell):
+            base = 1 + (j * span) // per_cell
+            jitter = int(rng.integers(0, 3)) - 1
+            recovery_after = None
+            if j % 5 == 4:
+                recovery_after = 1 + int(rng.integers(0, 12))
+            residual = None
+            if j % 7 == 6:
+                residual = int(rng.integers(0, 64))
+            cases.append(CampaignCase(
+                scheme=scheme, workload=workload,
+                crash_after=min(max(1, span), max(1, base + jitter)),
+                recovery_crash_after=recovery_after,
+                residual_words=residual))
+    return cases, spans
+
+
+def run_case(case: CampaignCase, cfg: SystemConfig,
+             trace: TraceArrays) -> CaseResult:
+    """Execute one case on a fresh machine and classify the outcome."""
+    system = SecureNVMSystem(case.scheme, cfg, check=True)
+    plan = FaultPlan(crash_after=case.crash_after,
+                     recovery_crash_after=case.recovery_crash_after,
+                     residual_words=case.residual_words)
+    with armed(plan):
+        crash_index = len(trace)
+        point = ""
+        try:
+            i = 0
+            while i < len(trace):
+                _step(system, trace, i)
+                i += 1
+        except CrashInjected as exc:
+            point = exc.point
+            crash_index = i
+        if not plan.crash_delivered:
+            return CaseResult(case, "no_crash")
+        golden = capture_golden(system)
+        system.crash()
+        recovery_crashed = False
+        try:
+            try:
+                system.recover()
+            except CrashInjected:
+                # the crash-during-recovery scenario: power fails again
+                # mid-recover(); the second pass must finish the job
+                recovery_crashed = True
+                system.crash()
+                system.recover()
+            check_recovered(system, golden)
+            for j in range(crash_index, len(trace)):
+                _step(system, trace, j)
+            system.verify_all_persisted()
+        # a scheme without a recovery path, or a detected loss under an
+        # exhausted ADR budget, is an expected terminal outcome — only a
+        # healthy-ADR failure counts against the scheme
+        # simlint: disable-next=SL402 -- classified, not swallowed
+        except RecoveryError as exc:
+            if not system.controller.supports_recovery:
+                return CaseResult(case, "unsupported", point, crash_index,
+                                  recovery_crashed, str(exc))
+            outcome = "detected" if case.lossy else "diverged"
+            return CaseResult(case, outcome, point, crash_index,
+                              recovery_crashed, str(exc))
+        # simlint: disable-next=SL402 -- classified, not swallowed
+        except IntegrityError as exc:
+            outcome = "detected" if case.lossy else "diverged"
+            return CaseResult(case, outcome, point, crash_index,
+                              recovery_crashed, str(exc))
+        except AssertionError as exc:
+            outcome = "data_loss" if case.lossy else "diverged"
+            return CaseResult(case, outcome, point, crash_index,
+                              recovery_crashed, str(exc))
+        return CaseResult(case, "recovered", point, crash_index,
+                          recovery_crashed)
+
+
+def minimize_case(case: CampaignCase, cfg: SystemConfig,
+                  trace: TraceArrays) -> int:
+    """Smallest trace prefix (in accesses) that still diverges.
+
+    Binary search: divergence is near-monotone in the prefix length
+    because the crash trigger is a fire *count* — prefixes too short to
+    reach it cannot diverge.  Best effort, never worse than the full
+    trace.
+    """
+    def diverges(n: int) -> bool:
+        return run_case(case, cfg, trace.head(n)).outcome == "diverged"
+
+    lo, hi = 1, len(trace)
+    if not diverges(hi):
+        return hi
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if diverges(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi
+
+
+def run_campaign(schemes: list[str], workloads: list[str],
+                 crashes: int = 200, seed: int = 2024,
+                 accesses: int = 400, footprint: int = 2048,
+                 cfg: SystemConfig | None = None) -> dict[str, Any]:
+    """Run the full campaign; returns a JSON-serializable report."""
+    if cfg is None:
+        cfg = small_config(metadata_cache_bytes=2048)
+    traces = {w: get_profile(w).generate(seed=seed, n=accesses,
+                                         footprint=footprint)
+              for w in workloads}
+    cases, spans = build_cases(schemes, workloads, crashes, seed, cfg,
+                               traces)
+    outcomes: dict[str, int] = {}
+    crash_points: dict[str, int] = {}
+    cells: dict[str, dict[str, Any]] = {
+        cell: {"cases": 0, "outcomes": {}, "fire_span": span}
+        for cell, span in spans.items()}
+    diverged: list[dict[str, Any]] = []
+    for case in cases:
+        result = run_case(case, cfg, traces[case.workload])
+        outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
+        if result.crash_point:
+            crash_points[result.crash_point] = \
+                crash_points.get(result.crash_point, 0) + 1
+        cell = cells[f"{case.scheme}/{case.workload}"]
+        cell["cases"] += 1
+        cell["outcomes"][result.outcome] = \
+            cell["outcomes"].get(result.outcome, 0) + 1
+        if result.outcome == "diverged":
+            entry: dict[str, Any] = {
+                "scheme": case.scheme, "workload": case.workload,
+                "crash_after": case.crash_after,
+                "recovery_crash_after": case.recovery_crash_after,
+                "residual_words": case.residual_words,
+                "crash_point": result.crash_point,
+                "crash_index": result.crash_index,
+                "detail": result.detail,
+            }
+            if len(diverged) < 3:  # minimization is a full re-run loop
+                entry["minimized_prefix"] = minimize_case(
+                    case, cfg, traces[case.workload])
+            diverged.append(entry)
+    return {
+        "seed": seed,
+        "crashes_requested": crashes,
+        "accesses": accesses,
+        "footprint": footprint,
+        "schemes": list(schemes),
+        "workloads": list(workloads),
+        "cases": len(cases),
+        "outcomes": outcomes,
+        "cells": cells,
+        "crash_points": crash_points,
+        "diverged": diverged,
+    }
+
+
+def controller_fingerprint(system: SecureNVMSystem) -> tuple:
+    """A comparable snapshot of every architectural state a recovery
+    touches — NVM contents, cache residency (with ways), registers —
+    used by the idempotence property tests.  Stats and timing excluded.
+    """
+    c = system.controller
+    device = tuple(sorted(
+        ((region.value, idx), value)
+        for (region, idx), value in system.device.lines()))
+    cache = tuple(sorted(
+        (offset, c.metacache.way_of(offset), node.snapshot(), dirty)
+        for offset, node, dirty in c.metacache.entries()))
+    extras: list[tuple] = []
+    lincs = getattr(c, "lincs", None)
+    if lincs is not None:
+        extras.append(("lincs", tuple(lincs.values())))
+    nv_buffer = getattr(c, "nv_buffer", None)
+    if nv_buffer is not None:
+        extras.append(("nv_buffer", tuple(
+            (u.child_level, u.child_index, u.generated_counter)
+            for u in nv_buffer.entries)))
+    recovery_root = getattr(c, "recovery_root", None)
+    if recovery_root is not None:
+        extras.append(("recovery_root", recovery_root.value))
+    cache_tree = getattr(c, "cache_tree", None)
+    if cache_tree is not None:
+        extras.append(("cache_tree_root", cache_tree.root))
+    return (device, cache, c.root.snapshot(), tuple(extras))

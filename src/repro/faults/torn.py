@@ -1,0 +1,55 @@
+"""Torn-write model at the NVM's 8-byte write atomicity.
+
+NVM persists a 64 B line as eight 8-byte words; power can fail between
+any two of them (Triad-NVM/Phoenix both stress this).  The simulator
+stores whole Python values per line, so a tear is modeled structurally:
+
+* *offset record lines* are tuples of sixteen 4-byte entries — a tear
+  after ``w`` words leaves a **valid mixed line** whose first ``2*w``
+  entries carry the new values and whose tail still holds the old ones
+  (stale record entries are harmless per the paper's Sec. III-G/H);
+* every other line (sealed node snapshots, data blocks) is opaque — a
+  partial persist cannot be interpreted, so the line settles to a
+  :class:`TornLine` marker and any later read raises
+  ``TamperDetectedError``, exactly as the real mixed bytes would fail
+  their HMAC ("detectably partial value").
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: eight 8-byte atomic words per 64 B NVM line
+WORDS_PER_LINE = 8
+
+
+@dataclass(frozen=True)
+class TornLine:
+    """A line whose persist was interrupted mid-write.
+
+    ``words_written`` (0 < w < 8) of the eight words carry ``new``; the
+    rest still hold ``old``.  Frozen and hashable so torn lines survive
+    in device stores, fingerprints, and set/dict keys.
+    """
+
+    old: Any
+    new: Any
+    words_written: int
+
+
+def tear_value(old: Any, new: Any, words_written: int) -> Any:
+    """Materialize a line that persisted only ``words_written`` words.
+
+    Uniform int tuples whose length is a multiple of 8 (offset record
+    lines: 16 entries, two per word) tear at entry granularity into a
+    valid mixed tuple.  Everything else becomes a :class:`TornLine`.
+    """
+    if (isinstance(new, tuple) and isinstance(old, tuple)
+            and len(new) == len(old)
+            and len(new) % WORDS_PER_LINE == 0
+            and all(isinstance(v, int) for v in new)
+            and all(isinstance(v, int) for v in old)):
+        per_word = len(new) // WORDS_PER_LINE
+        cut = words_written * per_word
+        return new[:cut] + old[cut:]
+    return TornLine(old=old, new=new, words_written=words_written)

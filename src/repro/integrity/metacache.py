@@ -16,6 +16,7 @@ from typing import Callable, Iterator
 
 from repro.common.config import CacheConfig
 from repro.common.errors import ConfigError
+from repro.faults.registry import fire
 from repro.integrity.node import SITNode
 from repro.mem.cache import CacheStats
 
@@ -98,6 +99,7 @@ class MetadataCache:
         if free:
             way = free.pop()
         else:
+            fire("metacache.evict")
             voff = next(iter(s))
             vnode, vdirty, way = s.pop(voff)
             victim = (voff, vnode, vdirty)
@@ -106,6 +108,27 @@ class MetadataCache:
                 self.stats.dirty_evictions += 1
         s[offset] = (node, dirty, way)
         return victim
+
+    def insert_at(self, offset: int, node: SITNode, dirty: bool,
+                  slot: int) -> bool:
+        """Install at a specific global slot (recovery reinstall).
+
+        Pinning a recovered node to the cache line its offset record
+        names keeps the record valid without a fresh write.  Returns
+        ``False`` — caller falls back to :meth:`insert` — when the slot
+        belongs to another set, its way is occupied, or the offset is
+        already cached.
+        """
+        set_idx, way = divmod(slot, self.ways)
+        if set_idx != offset % self.num_sets:
+            return False
+        s = self._sets[set_idx]
+        free = self._free_ways[set_idx]
+        if offset in s or way not in free:
+            return False
+        free.remove(way)
+        s[offset] = (node, dirty, way)
+        return True
 
     def victim_candidate(self, offset: int) -> tuple[int, SITNode, bool] | None:
         """LRU entry that :meth:`insert` would evict for ``offset``

@@ -13,9 +13,12 @@ the callback runs the slot content is considered durable.
 """
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.common.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.registry import ResidualBudget
 
 
 class ADRDomain:
@@ -27,12 +30,19 @@ class ADRDomain:
         self.capacity_bytes = capacity_bytes
         self._slots: dict[str, Any] = {}
         self._sizes: dict[str, int] = {}
-        self._flushers: dict[str, Callable[[Any], None]] = {}
+        self._flushers: dict[str, Callable[..., None]] = {}
+        self._budget_flushers: set[str] = set()
 
     # ----------------------------------------------------------- slots
     def register(self, name: str, size_bytes: int,
-                 flush: Callable[[Any], None] | None = None) -> None:
-        """Declare a slot.  ``flush(value)`` persists it at crash time."""
+                 flush: Callable[..., None] | None = None,
+                 wants_budget: bool = False) -> None:
+        """Declare a slot.  ``flush(value)`` persists it at crash time.
+
+        ``wants_budget=True`` callbacks are invoked as ``flush(value,
+        budget)`` so they can meter their writes against the residual
+        energy available at the crash (``repro.faults``).
+        """
         if name in self._sizes:
             raise ConfigError(f"ADR slot {name!r} already registered")
         if size_bytes <= 0:
@@ -45,6 +55,8 @@ class ADRDomain:
         self._sizes[name] = size_bytes
         if flush is not None:
             self._flushers[name] = flush
+            if wants_budget:
+                self._budget_flushers.add(name)
 
     def put(self, name: str, value: Any) -> None:
         if name not in self._sizes:
@@ -64,11 +76,29 @@ class ADRDomain:
         return sum(self._sizes.values())
 
     # ----------------------------------------------------------- crash
-    def flush_on_crash(self) -> None:
-        """Run every registered flush callback (residual-power flush)."""
+    def flush_on_crash(self, budget: ResidualBudget | None = None) -> None:
+        """Run every registered flush callback (residual-power flush).
+
+        The slots flush independently in hardware, so one failing
+        callback must not strand the rest: every slot gets its chance
+        and the first failure is re-raised only after all of them ran.
+        """
+        failures: list[Exception] = []
         for name, flush in self._flushers.items():
-            if name in self._slots:
-                flush(self._slots[name])
+            if name not in self._slots:
+                continue
+            try:
+                if name in self._budget_flushers:
+                    flush(self._slots[name], budget)
+                else:
+                    flush(self._slots[name])
+            # every slot must get its residual power before a failure
+            # propagates, so the first one is re-raised only at the end
+            # simlint: disable-next=SL401 -- re-raised after all flush
+            except Exception as exc:
+                failures.append(exc)
+        if failures:
+            raise failures[0]
 
     def clear(self) -> None:
         """Post-recovery reset of slot contents (registrations persist)."""

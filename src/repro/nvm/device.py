@@ -6,18 +6,32 @@ or frozen snapshots).  Contents survive :meth:`crash` — that is the whole
 point of NVM — while every volatile structure in the system (caches, the
 metadata cache, in-flight state) is dropped by the crash manager.
 
+Writes pass through a bounded write-pending queue (WPQ) before they are
+architecturally durable.  With a healthy ADR domain the queue always
+drains on power failure, so :meth:`crash` is a no-op on content.  Under
+an injected residual-energy fault (``repro.faults``), :meth:`crash_drain`
+funds queued lines oldest-first at 8 words each: the line where energy
+runs out is *torn* (``repro.faults.torn``) and every younger queued
+write rolls back.
+
 Timing and energy are accounted by the simulation clock, not here; the
 device only counts accesses per region so that write-traffic figures
 (Fig. 13/14) can be computed exactly.
 """
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from repro.common.errors import LayoutError
+from repro.common.constants import OFFSET_EMPTY
+from repro.common.errors import LayoutError, TamperDetectedError
+from repro.faults.registry import ResidualBudget
+from repro.faults.torn import WORDS_PER_LINE, TornLine, tear_value
 from repro.nvm.layout import MemoryLayout, Region
+
+#: write-pending-queue depth in lines; older entries are retired durable
+WPQ_DEPTH = 64
 
 
 @dataclass
@@ -54,13 +68,28 @@ class NVMDevice:
         self.layout = layout
         self._store: dict[tuple[Region, int], Any] = {}
         self.stats = DeviceStats()
+        # (region, index, pre-image) per in-flight write, oldest first;
+        # entries pushed off the end are retired (already durable)
+        self._wpq: deque[tuple[Region, int, Any]] = deque(maxlen=WPQ_DEPTH)
+        self.wpq_torn = 0
+        self.wpq_rolled_back = 0
 
     # ------------------------------------------------------------ access
     def read(self, region: Region, index: int, default: Any = None) -> Any:
-        """Read one line; counts as one NVM read."""
+        """Read one line; counts as one NVM read.
+
+        A line left torn by an energy-exhausted crash flush is physically
+        mixed old/new bytes: its HMAC cannot verify, which the model
+        expresses as an immediate tamper detection.
+        """
         self.layout.check(region, index)
         self.stats.reads[region] += 1
-        return self._store.get((region, index), default)
+        value = self._store.get((region, index), default)
+        if isinstance(value, TornLine):
+            raise TamperDetectedError(
+                f"torn line at {region.value}[{index}]: only "
+                f"{value.words_written}/{WORDS_PER_LINE} words persisted")
+        return value
 
     def write(self, region: Region, index: int, value: Any) -> None:
         """Write one line; counts as one NVM write.
@@ -74,13 +103,34 @@ class NVMDevice:
             raise TypeError(
                 f"NVM stores immutable values only, got {type(value).__name__}")
         self.stats.writes[region] += 1
+        self._wpq.append((region, index, self._store.get((region, index))))
+        self._store[(region, index)] = value
+
+    def write_through(self, region: Region, index: int, value: Any) -> None:
+        """Crash-time write past the pending queue.
+
+        ADR residual-power flushes (record-line cache, register dumps)
+        happen *after* the WPQ has been resolved; queueing them again
+        would double-charge the energy budget, so they land directly.
+        Counted like a normal write.
+        """
+        self.layout.check(region, index)
+        if isinstance(value, (list, dict, set, bytearray)):
+            raise TypeError(
+                f"NVM stores immutable values only, got {type(value).__name__}")
+        self.stats.writes[region] += 1
         self._store[(region, index)] = value
 
     # -------------------------------------------------- attack / inspect
     def peek(self, region: Region, index: int, default: Any = None) -> Any:
         """Read without statistics — used by attack injectors and tests."""
         self.layout.check(region, index)
-        return self._store.get((region, index), default)
+        value = self._store.get((region, index), default)
+        if isinstance(value, TornLine):
+            raise TamperDetectedError(
+                f"torn line at {region.value}[{index}]: only "
+                f"{value.words_written}/{WORDS_PER_LINE} words persisted")
+        return value
 
     def poke(self, region: Region, index: int, value: Any) -> None:
         """Write without statistics — attack injection / test setup only."""
@@ -96,12 +146,76 @@ class NVMDevice:
     def populated_count(self, region: Region) -> int:
         return sum(1 for _ in self.populated(region))
 
+    def lines(self) -> Iterator[tuple[tuple[Region, int], Any]]:
+        """Raw ((region, index), value) view of every populated line,
+        torn lines included — state fingerprinting in tests."""
+        yield from self._store.items()
+
+    def pending_wpq(self) -> int:
+        """In-flight (not yet architecturally durable) writes."""
+        return len(self._wpq)
+
     # ------------------------------------------------------------- crash
     def crash(self) -> None:
-        """A power failure: NVM content persists; only stats of the crashed
-        epoch are kept (they are observational, not architectural)."""
-        # Nothing to do: the store *is* the persistent medium.  The method
-        # exists so the crash manager can assert it touched every device.
+        """A power failure with a healthy ADR domain: the WPQ fully
+        drains, so NVM content persists exactly as written."""
+        self.crash_drain(None)
+
+    def crash_drain(self, budget: ResidualBudget | None) -> None:
+        """Resolve the write-pending queue at power failure.
+
+        ``budget=None`` (healthy ADR) drains everything.  Otherwise each
+        queued line needs 8 words of residual energy, funded oldest
+        first; the line where the budget runs out persists only a prefix
+        of its words (torn), and every younger queued write is rolled
+        back newest-first — so repeated writes to one line settle to the
+        oldest surviving pre-image.
+        """
+        entries = list(self._wpq)
+        self._wpq.clear()
+        if budget is None:
+            return
+        cut = len(entries)
+        torn_words = 0
+        for pos in range(len(entries)):
+            words = budget.take(WORDS_PER_LINE)
+            if words == WORDS_PER_LINE:
+                continue
+            cut = pos
+            torn_words = words
+            break
+        for pos in range(len(entries) - 1, cut, -1):
+            region, index, old = entries[pos]
+            self._restore_line(region, index, old)
+            self.wpq_rolled_back += 1
+        if cut < len(entries):
+            region, index, old = entries[cut]
+            if torn_words > 0:
+                self._store[(region, index)] = self._torn_value(
+                    region, old, self._store.get((region, index)),
+                    torn_words)
+                self.wpq_torn += 1
+            else:
+                self._restore_line(region, index, old)
+                self.wpq_rolled_back += 1
+
+    @staticmethod
+    def _torn_value(region: Region, old: Any, new: Any, words: int) -> Any:
+        # only offset-record lines are word-wise interpretable; a torn
+        # snapshot of any other region must never mix into a plausible
+        # value, so it settles to the unreadable TornLine marker
+        if region is Region.RECORDS and isinstance(new, tuple):
+            base = old if (isinstance(old, tuple)
+                           and len(old) == len(new)) \
+                else (OFFSET_EMPTY,) * len(new)
+            return tear_value(base, new, words)
+        return TornLine(old=old, new=new, words_written=words)
+
+    def _restore_line(self, region: Region, index: int, old: Any) -> None:
+        if old is None:
+            self._store.pop((region, index), None)
+        else:
+            self._store[(region, index)] = old
 
     def clone_store(self) -> dict[tuple[Region, int], Any]:
         """Deep-enough copy of the store for golden-state comparisons.

@@ -119,19 +119,25 @@ def run_with_crash(system: SecureNVMSystem, trace: TraceArrays,
                    crash_at: int,
                    flush_writes: bool = False) -> RecoveryReport:
     """Run ``trace`` but crash (and recover) after ``crash_at`` accesses,
-    then finish the trace — the full survive-a-power-failure scenario."""
+    then finish the trace — the full survive-a-power-failure scenario.
+
+    ``crash_at=0`` crashes before the first access and ``crash_at ==
+    len(trace)`` after the last; both run exactly one crash/recovery,
+    like every interior point.
+    """
     if not 0 <= crash_at <= len(trace):
         raise RecoveryError(
             f"crash point {crash_at} outside trace of {len(trace)}")
-    report = None
-    for i, (is_write, addr, gap) in enumerate(trace):
+    report: RecoveryReport | None = None
+    for i in range(len(trace) + 1):
         if i == crash_at:
             report, _ = crash_and_recover(system)
-        system.advance(gap)
-        if is_write:
-            system.store(addr, flush=flush_writes)
+        if i == len(trace):
+            break
+        system.advance(float(trace.gap_cycles[i]))
+        if trace.is_write[i]:
+            system.store(int(trace.address[i]), flush=flush_writes)
         else:
-            system.load(addr)
-    if report is None:
-        report, _ = crash_and_recover(system)
+            system.load(int(trace.address[i]))
+    assert report is not None, "crash point validated above"
     return report

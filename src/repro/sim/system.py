@@ -154,11 +154,21 @@ class SecureNVMSystem:
 
     # ----------------------------------------------------------- crash
     def crash(self) -> None:
-        """Power failure: volatile state is lost; ADR does its job."""
-        self.clock.drain_writes()   # the write pending queue is in ADR
+        """Power failure: volatile state is lost; ADR does its job.
+
+        Under an armed fault plan the residual-power budget is drawn
+        down in ADR priority order: the device's write-pending queue
+        drains first (possibly tearing the line on the energy boundary),
+        then the controller's ADR domain flushes from whatever remains.
+        """
+        from repro.faults.registry import active_plan
+
+        plan = active_plan()
+        budget = plan.begin_crash_flush() if plan is not None else None
+        self.clock.drain_writes()   # in-flight writes join the WPQ
         self.hierarchy.clear()
+        self.device.crash_drain(budget)
         self.controller.crash()
-        self.device.crash()
         # architecturally, unflushed stores are gone
         self.current = dict(self.persisted)
 

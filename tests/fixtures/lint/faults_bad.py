@@ -1,0 +1,14 @@
+"""Fixture: ad-hoc fault hooks (SL403)."""
+
+
+def fire(point):                            # home-grown helper
+    raise RuntimeError(point)
+
+
+def drain(queue, crash_now=False, state=None):
+    if crash_now:                           # SL403: hand-rolled trigger
+        raise RuntimeError("crash")
+    while state.should_crash:               # SL403: trigger in loop test
+        queue.pop()
+    fire("steins.drain")                    # SL403: fire not from registry
+    return queue.done()

@@ -1,0 +1,19 @@
+"""Fixture: registry-routed fault hooks — no diagnostics expected."""
+from repro.faults.registry import fire
+
+
+def drain(queue, crash_after=None, crash_delivered=False):
+    fire("steins.drain")                    # imported registry hook: fine
+    if crash_after is not None:             # plan fields are bookkeeping
+        queue.note(crash_after)
+    if crash_delivered:                     # delivery flag, not a trigger
+        return []
+    while queue.pending():
+        fire("controller.evict")
+        queue.pop()
+    return queue.done()
+
+
+def firewall(rules):                        # unrelated identifiers: fine
+    fire_rate = rules.fire_rate
+    return fire_rate

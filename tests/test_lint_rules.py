@@ -101,6 +101,20 @@ class TestErrorRules:
         assert lint("errors_ok.py").diagnostics == []
 
 
+class TestFaultHookRule:
+    def test_flags_adhoc_triggers_and_unregistered_fire(self):
+        result = lint("faults_bad.py")
+        assert hits(result) == [
+            ("SL403", 9),   # if crash_now:
+            ("SL403", 11),  # while state.should_crash:
+            ("SL403", 13),  # fire() not imported from the registry
+        ]
+        assert result.exit_code() == 1
+
+    def test_registry_hooks_and_plan_fields_are_silent(self):
+        assert lint("faults_ok.py").diagnostics == []
+
+
 class TestSuppressions:
     def test_reasoned_directives_silence_by_id_and_name(self):
         assert lint("suppress_reasoned.py").diagnostics == []

@@ -81,3 +81,36 @@ def test_flush_all_then_cold_restart_equivalent(addrs):
     b.recover()
     for addr in sorted(set(addrs)):
         assert a.read_data(addr) == b.read_data(addr)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.integers(0, 1200), min_size=5, max_size=60))
+def test_repeated_recovery_converges_to_a_fixed_point(addrs):
+    """Recovery is idempotent up to quiescence: reinstall evictions may
+    flush children and park parent updates in the NV buffer, so one
+    pass can legitimately advance durable state — but each pass must
+    validate against its own pre-crash golden snapshot, and repeated
+    crash+recover must reach a bit-identical fixed point once the
+    buffered updates have migrated to the root (a few tree heights)."""
+    from repro.common.config import small_config
+    from repro.faults.campaign import controller_fingerprint
+    from repro.sim.crash import capture_golden, check_recovered
+    from repro.sim.system import SecureNVMSystem
+
+    system = SecureNVMSystem(
+        "steins", small_config(metadata_cache_bytes=1024), check=True)
+    for addr in addrs:
+        system.store(addr, flush=True)
+    previous = None
+    for _ in range(12):
+        golden = capture_golden(system)
+        system.crash()
+        system.recover()
+        check_recovered(system, golden)
+        fingerprint = controller_fingerprint(system)
+        if fingerprint == previous:
+            break
+        previous = fingerprint
+    else:
+        raise AssertionError("recovery never reached a fixed point")

@@ -145,3 +145,26 @@ def test_multilayer_bitmap_terminates_single_line():
     device = NVMDevice(build_layout(64, 64, 64, bitmap_lines=10))
     bm = MultiLayerBitmap(total_nodes=100, device=device)
     assert bm.layer_sizes == [1]
+
+
+@pytest.mark.parametrize("scheme", ["asit", "star", "scue"])
+def test_recovery_idempotent_fingerprint(scheme):
+    """Recovery is a one-step fixed point for the baselines: a second
+    crash+recover reproduces the first's state bit for bit.  (Steins
+    converges over a few passes instead — its reinstall evictions park
+    NV-buffer updates; see test_prop_steins.)"""
+    from repro.common.config import small_config
+    from repro.faults.campaign import controller_fingerprint
+    from repro.sim.system import SecureNVMSystem
+
+    system = SecureNVMSystem(
+        scheme, small_config(metadata_cache_bytes=2048), check=True)
+    rng = make_rng(23, "idem", scheme)
+    for addr in rng.integers(0, 2000, 250):
+        system.store(int(addr), flush=True)
+    system.crash()
+    system.recover()
+    once = controller_fingerprint(system)
+    system.crash()
+    system.recover()
+    assert controller_fingerprint(system) == once
