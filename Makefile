@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint simlint ruff mypy faults-smoke all
+.PHONY: test lint simlint ruff mypy faults-smoke sweep-smoke all
 
 all: lint test
 
@@ -12,6 +12,21 @@ test:
 # exits non-zero on any golden-state divergence
 faults-smoke:
 	$(PYTHON) -m repro faults --scheme steins --scheme wb --crashes 200 --seed 1
+
+# cold + warm mini-sweep through the repro.exec result cache: the two
+# stdouts must be byte-identical and the warm run must simulate nothing
+# (workloads chosen to produce finite normalized values at this scale)
+SWEEP_SMOKE = $(PYTHON) -m repro sweep --figure 13 \
+	--workload pers_hash --workload pers_swap \
+	--accesses 2000 --footprint 4096 --jobs 2 \
+	--cache-dir .sweep-smoke/cache
+sweep-smoke:
+	rm -rf .sweep-smoke && mkdir -p .sweep-smoke
+	$(SWEEP_SMOKE) > .sweep-smoke/cold.txt
+	$(SWEEP_SMOKE) > .sweep-smoke/warm.txt 2> .sweep-smoke/warm.err
+	grep -q "0 simulated" .sweep-smoke/warm.err
+	cmp .sweep-smoke/cold.txt .sweep-smoke/warm.txt
+	rm -rf .sweep-smoke
 
 lint: simlint ruff mypy
 

@@ -5,22 +5,25 @@ Sweeps the metadata cache from 64 KB to 512 KB for Steins-GC on the
 cache-hungry persistent hash workload and reports execution time,
 metadata hit rate, and the recovery cost of the dirty set.
 """
-from benchmarks.conftest import ACCESSES, save_and_show
+from benchmarks.conftest import ACCESSES, JOBS, bench_cache, save_and_show
 from repro.analysis.figures import figure_config
 from repro.analysis.report import render_table
 from repro.common.units import KB
-from repro.sim.runner import RunSpec, run_cell
+from repro.exec import CellSpec, config_to_dict, run_sweep
 
 SIZES = (64 * KB, 128 * KB, 256 * KB, 512 * KB)
 
 
 def sweep():
+    specs = [CellSpec(
+        "sim", "steins-gc", "pers_hash",
+        accesses=min(ACCESSES, 30_000), footprint_blocks=1 << 16,
+        seed=2024,
+        config=config_to_dict(figure_config().with_metadata_cache(size)))
+        for size in SIZES]
+    report = run_sweep(specs, jobs=JOBS, cache=bench_cache())
     rows = {}
-    for size in SIZES:
-        cfg = figure_config().with_metadata_cache(size)
-        result = run_cell(RunSpec("steins-gc", "pers_hash",
-                                  accesses=min(ACCESSES, 30_000),
-                                  footprint_blocks=1 << 16), cfg)
+    for size, result in zip(SIZES, report.values):
         rows[f"{size // KB}KB"] = {
             "exec_ms": result.exec_time_ns / 1e6,
             "hit_rate": result.metadata_cache_hit_rate,

@@ -7,26 +7,29 @@ parent reads from the write critical path is a real win.
 """
 from dataclasses import replace
 
-from benchmarks.conftest import ACCESSES, save_and_show
+from benchmarks.conftest import ACCESSES, JOBS, bench_cache, save_and_show
 from repro.analysis.figures import figure_config
 from repro.analysis.report import render_table
-from repro.sim.runner import RunSpec, run_cell
+from repro.exec import CellSpec, config_to_dict, run_sweep
+
+CAPACITIES = (1, 2, 8, 32)
 
 
-def run_with_buffer(entries: int):
+def spec_for(entries: int) -> CellSpec:
     cfg = figure_config()
     cfg = replace(cfg, security=replace(cfg.security,
                                         nv_buffer_entries=entries))
-    result = run_cell(RunSpec("steins-gc", "cactusADM",
-                              accesses=min(ACCESSES, 30_000),
-                              footprint_blocks=1 << 16), cfg)
-    return result
+    return CellSpec("sim", "steins-gc", "cactusADM",
+                    accesses=min(ACCESSES, 30_000),
+                    footprint_blocks=1 << 16, seed=2024,
+                    config=config_to_dict(cfg))
 
 
 def sweep():
+    report = run_sweep([spec_for(n) for n in CAPACITIES],
+                       jobs=JOBS, cache=bench_cache())
     rows = {}
-    for entries in (1, 2, 8, 32):
-        r = run_with_buffer(entries)
+    for entries, r in zip(CAPACITIES, report.values):
         rows[f"{entries} entries"] = {
             "exec_ms": r.exec_time_ns / 1e6,
             "write_lat_ns": r.avg_write_latency_ns,

@@ -7,26 +7,29 @@ construction, which the test suite asserts separately).
 """
 from dataclasses import replace
 
-from benchmarks.conftest import ACCESSES, save_and_show
+from benchmarks.conftest import ACCESSES, JOBS, bench_cache, save_and_show
 from repro.analysis.figures import figure_config
 from repro.analysis.report import render_table
 from repro.common.config import UpdateScheme
-from repro.sim.runner import RunSpec, run_cell
+from repro.exec import CellSpec, config_to_dict, run_sweep
 
 
-def run_scheme(update_scheme: UpdateScheme):
+def spec_for(update_scheme: UpdateScheme) -> CellSpec:
     cfg = figure_config()
     cfg = replace(cfg, security=replace(cfg.security,
                                         update_scheme=update_scheme))
-    return run_cell(RunSpec("wb-gc", "pers_hash",
-                            accesses=min(ACCESSES, 30_000),
-                            footprint_blocks=1 << 16), cfg)
+    return CellSpec("sim", "wb-gc", "pers_hash",
+                    accesses=min(ACCESSES, 30_000),
+                    footprint_blocks=1 << 16, seed=2024,
+                    config=config_to_dict(cfg))
 
 
 def sweep():
+    schemes = (UpdateScheme.LAZY, UpdateScheme.EAGER)
+    report = run_sweep([spec_for(s) for s in schemes],
+                       jobs=JOBS, cache=bench_cache())
     out = {}
-    for scheme in (UpdateScheme.LAZY, UpdateScheme.EAGER):
-        r = run_scheme(scheme)
+    for scheme, r in zip(schemes, report.values):
         out[scheme.value] = {
             "exec_ms": r.exec_time_ns / 1e6,
             "write_lat_ns": r.avg_write_latency_ns,

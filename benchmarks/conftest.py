@@ -11,6 +11,14 @@ the rest reuse it.  Scale knobs via environment variables:
 
 Every bench writes its table to ``benchmarks/results/`` so the figures
 are inspectable after the run without scraping pytest output.
+
+The matrix fills through ``repro.exec`` (docs/orchestration.md):
+
+* ``REPRO_BENCH_JOBS``       — worker processes for the cell fan-out
+  (default 0 = one per CPU core; results are identical at any count),
+* ``REPRO_BENCH_CACHE``      — content-addressed result-cache directory;
+  set it to skip re-simulating unchanged cells across bench runs
+  (unset = no cache).
 """
 from __future__ import annotations
 
@@ -23,16 +31,24 @@ import pytest
 sys.setrecursionlimit(100_000)
 
 from repro.analysis.figures import FigureHarness  # noqa: E402
+from repro.exec import ResultCache, run_sweep  # noqa: E402,F401
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "30000"))
 FOOTPRINT = int(os.environ.get("REPRO_BENCH_FOOTPRINT", str(1 << 16)))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE", "")
+
+
+def bench_cache() -> ResultCache | None:
+    return ResultCache(CACHE_DIR) if CACHE_DIR else None
 
 
 @pytest.fixture(scope="session")
 def harness() -> FigureHarness:
-    return FigureHarness(accesses=ACCESSES, footprint_blocks=FOOTPRINT)
+    return FigureHarness(accesses=ACCESSES, footprint_blocks=FOOTPRINT,
+                         jobs=JOBS, cache=bench_cache())
 
 
 @pytest.fixture(scope="session")

@@ -37,6 +37,7 @@ from repro.common import (
     small_config,
 )
 from repro.core import SteinsController
+from repro.exec import CellSpec, ResultCache, SweepReport, run_sweep
 from repro.sim import (
     GC_VARIANTS,
     SC_VARIANTS,
@@ -57,15 +58,18 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_PROFILES",
     "ASITController",
+    "CellSpec",
     "CounterMode",
     "GC_VARIANTS",
     "IntegrityError",
     "PAPER_WORKLOADS",
     "RecoveryReport",
     "ReplayDetectedError",
+    "ResultCache",
     "RunResult",
     "RunSpec",
     "SCUEController",
+    "SweepReport",
     "SC_VARIANTS",
     "STARController",
     "SecureNVMSystem",
@@ -79,6 +83,7 @@ __all__ = [
     "get_profile",
     "make_system",
     "run_cell",
+    "run_sweep",
     "run_trace",
     "run_with_crash",
     "small_config",

@@ -23,7 +23,14 @@ from repro.common.config import (
     default_config,
 )
 from repro.common.units import KB, MB
-from repro.sim.runner import GC_VARIANTS, SC_VARIANTS, RunSpec, run_cell
+from repro.exec import (
+    CellSpec,
+    ResultCache,
+    SweepReport,
+    config_to_dict,
+    run_sweep,
+)
+from repro.sim.runner import GC_VARIANTS, SC_VARIANTS
 from repro.sim.stats import RunResult
 from repro.workloads import PAPER_WORKLOADS
 
@@ -48,33 +55,73 @@ def figure_config() -> SystemConfig:
 
 
 class FigureHarness:
-    """Cached (variant, workload) simulation matrix + figure extractors."""
+    """Cached (variant, workload) simulation matrix + figure extractors.
+
+    Cells execute through :mod:`repro.exec`: ``jobs`` > 1 fans missing
+    cells out over a worker pool, and an optional :class:`ResultCache`
+    persists every completed cell so a warm regeneration simulates
+    nothing.  Parallel and serial fills are bitwise identical (each cell
+    derives its own RNG stream from its spec alone).
+    """
 
     def __init__(self, accesses: int = 40_000,
                  footprint_blocks: int = 1 << 16,
                  seed: int = 2024,
                  workloads: tuple[str, ...] = PAPER_WORKLOADS,
-                 cfg: SystemConfig | None = None) -> None:
+                 cfg: SystemConfig | None = None,
+                 jobs: int = 1,
+                 cache: ResultCache | None = None) -> None:
         self.accesses = accesses
         self.footprint_blocks = footprint_blocks
         self.seed = seed
         self.workloads = workloads
         self.cfg = cfg if cfg is not None else figure_config()
+        self.jobs = jobs
+        self.cache = cache
+        #: optional ``(done, total, outcome)`` callback for sweep progress
+        self.progress = None
+        #: the report of the most recent :meth:`ensure` fan-out
+        self.last_sweep: SweepReport | None = None
         self._cells: dict[tuple[str, str], RunResult] = {}
+        self._config_dict = config_to_dict(self.cfg)
 
     # ------------------------------------------------------------ cells
+    def spec(self, variant: str, workload: str) -> CellSpec:
+        """The self-contained executor spec for one matrix cell."""
+        return CellSpec("sim", variant, workload, self.accesses,
+                        self.footprint_blocks, self.seed,
+                        config=self._config_dict)
+
+    def ensure(self, pairs: list[tuple[str, str]]) -> None:
+        """Fill all missing cells among ``pairs`` in one sweep."""
+        missing: list[tuple[str, str]] = []
+        for pair in pairs:
+            if pair not in self._cells and pair not in missing:
+                missing.append(pair)
+        if not missing:
+            return
+        specs = [self.spec(v, w) for v, w in missing]
+        report = run_sweep(specs, jobs=self.jobs, cache=self.cache,
+                           progress=self.progress)
+        for pair, result in zip(missing, report.values):
+            self._cells[pair] = result
+        self.last_sweep = report
+
+    def ensure_matrix(self, variants: tuple[str, ...]) -> None:
+        """Fill the full ``variants`` x ``self.workloads`` matrix."""
+        self.ensure([(v, w) for v in variants for w in self.workloads])
+
     def cell(self, variant: str, workload: str) -> RunResult:
         key = (variant, workload)
         if key not in self._cells:
-            spec = RunSpec(variant=variant, workload=workload,
-                           accesses=self.accesses,
-                           footprint_blocks=self.footprint_blocks,
-                           seed=self.seed)
-            self._cells[key] = run_cell(spec, self.cfg)
+            self.ensure([key])
         return self._cells[key]
 
     def _normalized(self, variants: tuple[str, ...], baseline: str,
                     metric: str) -> Rows:
+        needed = dict.fromkeys(variants)
+        needed[baseline] = None
+        self.ensure_matrix(tuple(needed))
         rows: Rows = {}
         for workload in self.workloads:
             base = self.cell(baseline, workload)

@@ -8,6 +8,7 @@ Rule id allocation:
 * SL201-SL299  integer exactness
 * SL301-SL399  stats hygiene
 * SL401-SL499  error and fault-injection hygiene
+* SL501-SL599  orchestration hygiene
 * SL999        parse errors (engine-emitted)
 """
 from repro.analysis.lint.rules import (  # noqa: F401  -- registration
@@ -15,6 +16,7 @@ from repro.analysis.lint.rules import (  # noqa: F401  -- registration
     errors,
     exactness,
     faults,
+    orchestration,
     persist,
     stats,
 )

@@ -1,0 +1,71 @@
+"""Orchestration hygiene.
+
+Process fan-out is centralized in ``repro.exec`` (the sweep executor):
+it is the one place that knows how to keep parallel runs bitwise
+identical to serial ones — per-cell RNG derivation, index-ordered result
+collection, fault-plan arming confined to worker processes, and
+cache-key coverage of every result-changing knob.  A ``multiprocessing``
+pool spun up anywhere else silently forfeits all four guarantees (and a
+worker that arms a fault plan concurrently with a sibling in the same
+process corrupts both cells), so the import itself is the violation:
+
+* SL501 ``worker-pool-outside-exec`` (ERROR) — ``multiprocessing`` /
+  ``concurrent.futures`` imported outside ``repro.exec``.
+
+Legitimate exceptions (none known today) take the reasoned-suppression
+path: ``# simlint: disable-next=SL501 -- <why this fan-out is safe>``.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.registry import (
+    FileUnit,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+#: top-level module names whose import means process/thread fan-out
+_POOL_MODULES = ("multiprocessing", "concurrent")
+
+
+def _is_pool_module(dotted: str | None) -> bool:
+    return dotted is not None and dotted.split(".")[0] in _POOL_MODULES
+
+
+@register
+class WorkerPoolOutsideExecRule(Rule):
+    id = "SL501"
+    name = "worker-pool-outside-exec"
+    severity = Severity.ERROR
+    description = ("multiprocessing / concurrent.futures import outside "
+                   "repro.exec")
+    invariant = ("all process fan-out flows through the sweep executor, "
+                 "so parallel runs stay bitwise identical to serial runs "
+                 "and fault-plan arming stays per-process")
+    paper = "sweep orchestration (docs/orchestration.md)"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        # the executor package itself is the sanctioned home
+        if "exec" in unit.parts[:-1]:
+            return
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _is_pool_module(alias.name):
+                        yield self.diag(unit, node, (
+                            f"import of '{alias.name}': worker pools "
+                            "belong in repro.exec (run_sweep keeps "
+                            "parallel and serial runs bitwise "
+                            "identical); route fan-out through it"))
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if _is_pool_module(node.module):
+                    yield self.diag(unit, node, (
+                        f"import from '{node.module}': worker pools "
+                        "belong in repro.exec (run_sweep keeps parallel "
+                        "and serial runs bitwise identical); route "
+                        "fan-out through it"))

@@ -72,3 +72,27 @@ class RecoveryReport:
             "time_s": self.time_s,
             **self.detail,
         }
+
+    # --------------------------------------------------- serialization
+    def to_json(self) -> dict[str, object]:
+        """Lossless JSON form (``as_dict`` flattens ``detail`` and adds
+        derived fields; this one round-trips through :meth:`from_json`).
+        """
+        return {
+            "scheme": self.scheme,
+            "nvm_reads": self.nvm_reads,
+            "nvm_writes": self.nvm_writes,
+            "hashes": self.hashes,
+            "nodes_recovered": self.nodes_recovered,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "RecoveryReport":
+        report = cls(**data)  # type: ignore[arg-type]
+        unknown = set(report.detail) - cls.KNOWN_KEYS
+        if unknown:
+            raise ValueError(
+                f"undeclared recovery detail keys {sorted(unknown)} in "
+                "serialized report; declare them in KNOWN_KEYS")
+        return report

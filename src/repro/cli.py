@@ -9,12 +9,14 @@ Commands
 ``storage``   the Sec. IV-E storage-overhead table
 ``overflow``  the Sec. III-B.2 counter-lifetime analysis
 ``workloads`` list the available workload profiles
+``sweep``     parallel figure-matrix sweep with a result cache (docs/orchestration.md)
 ``faults``    deterministic fault-injection campaign (see docs/fault_injection.md)
 ``lint``      run simlint over the tree (see ``repro.analysis.lint``)
 """
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.charts import render_grouped_bars, render_series
@@ -26,6 +28,7 @@ from repro.common.config import small_config
 from repro.common.rng import make_rng
 from repro.common.units import GB, TB, pretty_time_ns
 from repro.core.countergen import years_to_overflow
+from repro.exec import ResultCache
 from repro.sim.runner import GC_VARIANTS, SC_VARIANTS, RunSpec, VARIANTS, \
     make_system, run_cell
 from repro.workloads import ALL_PROFILES, PAPER_WORKLOADS
@@ -79,6 +82,32 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("overflow", help="Sec. III-B.2 counter lifetimes")
     sub.add_parser("workloads", help="list workload profiles")
 
+    sweep = sub.add_parser(
+        "sweep", help="parallel figure-matrix sweep with a result cache")
+    sweep.add_argument("--figure", action="append",
+                       choices=[n for n in sorted(FIGURES, key=int)
+                                if n != "17"],
+                       default=None,
+                       help="figure to regenerate (repeatable; default: "
+                            "every matrix figure 9-16)")
+    sweep.add_argument("--workload", action="append",
+                       choices=sorted(ALL_PROFILES), default=None,
+                       help="workload column (repeatable; default: the "
+                            "paper's ten)")
+    sweep.add_argument("--accesses", type=int, default=30_000)
+    sweep.add_argument("--footprint", type=int, default=1 << 16,
+                       help="workload footprint in 64 B blocks")
+    sweep.add_argument("--seed", type=int, default=2024)
+    sweep.add_argument("--jobs", type=int, default=0,
+                       help="worker processes (0 = one per CPU core)")
+    sweep.add_argument("--cache-dir", default=".repro-cache",
+                       help="content-addressed result cache directory")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="always simulate; do not read or write the "
+                            "cache")
+    sweep.add_argument("--chart", action="store_true",
+                       help="render bar charts instead of number tables")
+
     from repro.sim.system import SCHEMES
 
     faults = sub.add_parser(
@@ -97,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace length per case")
     faults.add_argument("--footprint", type=int, default=2048,
                         help="trace footprint in data blocks")
+    faults.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (0 = one per CPU core); "
+                             "the report is identical at any job count")
+    faults.add_argument("--cache-dir", default=None,
+                        help="reuse completed cases from this result "
+                             "cache (off by default)")
     faults.add_argument("--json", action="store_true",
                         help="emit the full report as JSON")
 
@@ -212,6 +247,46 @@ def cmd_overflow(_args) -> int:
     return 0
 
 
+def _sweep_progress(done: int, total: int, outcome) -> None:
+    """One stderr line per finished cell; stdout stays machine-diffable."""
+    status = "cached" if outcome.cached else f"{outcome.elapsed_s:.1f}s"
+    print(f"[{done}/{total}] {outcome.spec.variant} x "
+          f"{outcome.spec.workload} ({status})", file=sys.stderr)
+
+
+def cmd_sweep(args) -> int:
+    figures = args.figure or [n for n in sorted(FIGURES, key=int)
+                              if n != "17"]
+    jobs = args.jobs or (os.cpu_count() or 1)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    workloads = tuple(args.workload) if args.workload else PAPER_WORKLOADS
+    harness = FigureHarness(accesses=args.accesses,
+                            footprint_blocks=args.footprint,
+                            seed=args.seed, workloads=workloads,
+                            jobs=jobs, cache=cache)
+    harness.progress = _sweep_progress
+    # one fan-out over the union of every requested figure's variants;
+    # the figure extractors below then hit only warm cells
+    needed = dict.fromkeys(
+        v for n in figures for v in FIGURES[n][1])
+    harness.ensure_matrix(tuple(needed))
+    report = harness.last_sweep
+    for number in figures:
+        method, variants, label = FIGURES[number]
+        rows = getattr(harness, method)()
+        if args.chart:
+            print(render_grouped_bars(f"Fig. {number}: {label}",
+                                      list(variants), rows))
+        else:
+            print(render_table(f"Fig. {number}: {label}", list(variants),
+                               rows))
+    if report is not None:
+        print(f"sweep: {report.summary()}", file=sys.stderr)
+    else:  # every cell was already resident (cache-only rerun)
+        print("sweep: 0 cells, 0 simulated, 0 cached", file=sys.stderr)
+    return 0
+
+
 def cmd_faults(args) -> int:
     # campaign imports the simulator stack; keep it off the path of the
     # other subcommands
@@ -222,7 +297,9 @@ def cmd_faults(args) -> int:
         schemes=args.scheme or ["steins"],
         workloads=args.workload or ["pers_hash"],
         crashes=args.crashes, seed=args.seed,
-        accesses=args.accesses, footprint=args.footprint)
+        accesses=args.accesses, footprint=args.footprint,
+        jobs=args.jobs or (os.cpu_count() or 1),
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None)
     if args.json:
         import json
 
@@ -264,6 +341,7 @@ def main(argv: list[str] | None = None) -> int:
         "storage": cmd_storage,
         "overflow": cmd_overflow,
         "workloads": cmd_workloads,
+        "sweep": cmd_sweep,
         "faults": cmd_faults,
         "lint": cmd_lint,
     }[args.command]

@@ -1,0 +1,66 @@
+"""On-disk content-addressed result cache.
+
+Entries live at ``<root>/<key[:2]>/<key>.json`` (two-level sharding so a
+big campaign does not put thousands of files in one directory).  Each
+file is a self-validating envelope::
+
+    {"key": <cell key>, "kind": <cell kind>, "payload": {...}}
+
+A corrupted entry — unreadable, unparsable, or an envelope whose ``key``
+does not match its address — is *discarded and recomputed*, never
+trusted: the cache can only ever make a sweep faster, not wrong.
+
+Writes are atomic (temp file + ``os.replace``), so a crash mid-``put``
+leaves either the old entry or no entry.  Concurrent writers of the same
+key are benign: cells are deterministic, so both write the same bytes.
+"""
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any
+
+
+class ResultCache:
+    """Content-addressed store of completed cell payloads."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The cached payload for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            envelope = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if (not isinstance(envelope, dict)
+                or envelope.get("key") != key
+                or not isinstance(envelope.get("payload"), dict)):
+            self._discard(path)
+            return None
+        return envelope["payload"]
+
+    def put(self, key: str, kind: str, payload: dict[str, Any]) -> None:
+        """Persist one completed cell atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"key": key, "kind": kind, "payload": payload}
+        tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(envelope, sort_keys=True))
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _discard(path: pathlib.Path) -> None:
+        """Best-effort removal of a corrupted entry."""
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,64 @@
+"""Lossless JSON encoding of :class:`~repro.common.config.SystemConfig`.
+
+The cache key must cover *every* parameter that can change a result, so
+a cell spec carries the full configuration — not a diff against an
+implicit default that silently shifts between versions.  The encoding is
+a plain nested dict (enums by value), decodable back through each
+dataclass constructor so ``__post_init__`` validation re-runs on load.
+"""
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+from typing import Any
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+
+
+def config_to_dict(cfg: SystemConfig) -> dict[str, Any]:
+    """Encode a config as a JSON-serializable nested dict."""
+    return _encode(cfg)
+
+
+def config_from_dict(data: dict[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig`, re-running all validation."""
+    return _decode(SystemConfig, data)
+
+
+def _encode(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _encode(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    raise ConfigError(
+        f"cannot encode config value of type {type(value).__name__}")
+
+
+def _decode(cls: type, data: Any) -> Any:
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"expected a dict for {cls.__name__}, got {type(data).__name__}")
+    hints = typing.get_type_hints(cls)
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    kwargs: dict[str, Any] = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in data:
+            continue
+        target = hints[f.name]
+        value = data[f.name]
+        if dataclasses.is_dataclass(target):
+            kwargs[f.name] = _decode(target, value)
+        elif isinstance(target, type) and issubclass(target, enum.Enum):
+            kwargs[f.name] = target(value)
+        else:
+            kwargs[f.name] = value
+    return cls(**kwargs)

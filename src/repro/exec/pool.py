@@ -1,0 +1,193 @@
+"""The sweep executor: worker-pool fan-out with deterministic results.
+
+Each cell is executed by :func:`execute_cell`, a pure function of its
+:class:`~repro.exec.spec.CellSpec` — the worker rebuilds the system
+configuration and regenerates the trace from the spec's seed, so cells
+are bitwise identical no matter which process runs them, in what order,
+or alongside how many siblings.  Results are collected by cell *index*,
+so :func:`run_sweep` always returns spec order even though workers
+finish in completion order.
+
+Wall-clock appears here (and only here) to report per-cell timing; it
+never reaches a result payload, so cached and fresh payloads compare
+equal byte for byte.
+"""
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.errors import ConfigError
+from repro.exec.cache import ResultCache
+from repro.exec.configio import config_from_dict
+from repro.exec.spec import CellSpec, cell_key
+
+
+def execute_cell(spec: CellSpec) -> dict[str, Any]:
+    """Run one cell from scratch; returns the JSON-serializable payload.
+
+    The campaign modules import the simulator stack, so they are
+    imported lazily: ``repro.faults.campaign`` itself calls back into
+    :func:`run_sweep` and an import-time cycle would otherwise form.
+    """
+    cfg = config_from_dict(spec.config) if spec.config is not None else None
+    if spec.kind == "sim":
+        from repro.sim.runner import RunSpec, run_cell
+
+        result = run_cell(RunSpec(
+            variant=spec.variant, workload=spec.workload,
+            accesses=spec.accesses,
+            footprint_blocks=spec.footprint_blocks,
+            seed=spec.seed, check=spec.check), cfg)
+        return {"result": result.to_json()}
+    if spec.kind == "probe":
+        from repro.faults.campaign import probe_fire_total
+
+        trace = _trace_for(spec)
+        if cfg is None:
+            raise ConfigError("probe cells need an explicit config")
+        return {"fire_span": probe_fire_total(spec.variant, cfg, trace)}
+    if spec.kind == "fault":
+        from repro.faults.campaign import CampaignCase, run_case
+
+        if cfg is None:
+            raise ConfigError("fault cells need an explicit config")
+        case = CampaignCase(scheme=spec.variant, workload=spec.workload,
+                            **(spec.fault or {}))
+        result = run_case(case, cfg, _trace_for(spec))
+        return {"result": result.to_json()}
+    raise ConfigError(f"unknown cell kind {spec.kind!r}")
+
+
+def decode_payload(spec: CellSpec, payload: dict[str, Any]) -> Any:
+    """Turn a cached/executed payload back into the cell's value."""
+    if spec.kind == "sim":
+        from repro.sim.stats import RunResult
+
+        return RunResult.from_json(payload["result"])
+    if spec.kind == "probe":
+        return int(payload["fire_span"])
+    if spec.kind == "fault":
+        from repro.faults.campaign import CaseResult
+
+        return CaseResult.from_json(payload["result"])
+    raise ConfigError(f"unknown cell kind {spec.kind!r}")
+
+
+def _trace_for(spec: CellSpec):
+    from repro.workloads import get_profile
+
+    return get_profile(spec.workload).generate(
+        seed=spec.seed, n=spec.accesses, footprint=spec.footprint_blocks)
+
+
+def _worker(item: tuple[int, CellSpec]) -> tuple[int, dict[str, Any], float]:
+    """Pool entry point: ``(index, payload, elapsed_seconds)``."""
+    index, spec = item
+    # simlint: disable-next=SL102 -- orchestration timing, not simulated time
+    start = time.perf_counter()
+    payload = execute_cell(spec)
+    # simlint: disable-next=SL102 -- orchestration timing, not simulated time
+    elapsed = time.perf_counter() - start
+    return index, payload, elapsed
+
+
+@dataclass
+class CellOutcome:
+    """One finished cell: its spec, decoded value, and provenance."""
+
+    spec: CellSpec
+    value: Any
+    cached: bool
+    elapsed_s: float
+    key: str
+
+
+@dataclass
+class SweepReport:
+    """Everything :func:`run_sweep` did, in spec order."""
+
+    outcomes: list[CellOutcome]
+
+    @property
+    def values(self) -> list[Any]:
+        return [o.value for o in self.outcomes]
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def sim_time_s(self) -> float:
+        """Summed per-cell simulation time (not wall time: cells overlap)."""
+        return sum(o.elapsed_s for o in self.outcomes)
+
+    def summary(self) -> str:
+        return (f"{self.total} cells, {self.executed} simulated, "
+                f"{self.cached} cached, {self.sim_time_s:.1f}s cell time")
+
+
+ProgressFn = Callable[[int, int, CellOutcome], None]
+
+
+def run_sweep(specs: list[CellSpec], jobs: int = 1,
+              cache: ResultCache | None = None,
+              progress: ProgressFn | None = None,
+              code_version: str | None = None) -> SweepReport:
+    """Execute a sweep; results come back in spec order.
+
+    ``jobs`` > 1 fans the uncached cells out over a process pool; the
+    parent never runs simulations itself in that mode, so an armed
+    fault plan in a worker can never leak across cells.  With ``jobs``
+    <= 1 everything runs in-process (no pool, no pickling) — handy under
+    pytest and on single-core runners.
+    """
+    keys = [cell_key(spec, code_version) for spec in specs]
+    outcomes: list[CellOutcome | None] = [None] * len(specs)
+    done = 0
+
+    def finish(index: int, payload: dict[str, Any], cached: bool,
+               elapsed: float) -> None:
+        nonlocal done
+        outcome = CellOutcome(specs[index], decode_payload(specs[index],
+                                                           payload),
+                              cached, elapsed, keys[index])
+        outcomes[index] = outcome
+        done += 1
+        if progress is not None:
+            progress(done, len(specs), outcome)
+
+    pending: list[int] = []
+    for i, key in enumerate(keys):
+        payload = cache.get(key) if cache is not None else None
+        if payload is not None:
+            finish(i, payload, True, 0.0)
+        else:
+            pending.append(i)
+
+    if pending and jobs > 1:
+        with multiprocessing.Pool(min(jobs, len(pending))) as pool:
+            results = pool.imap_unordered(
+                _worker, [(i, specs[i]) for i in pending])
+            for index, payload, elapsed in results:
+                if cache is not None:
+                    cache.put(keys[index], specs[index].kind, payload)
+                finish(index, payload, False, elapsed)
+    else:
+        for index in pending:
+            _, payload, elapsed = _worker((index, specs[index]))
+            if cache is not None:
+                cache.put(keys[index], specs[index].kind, payload)
+            finish(index, payload, False, elapsed)
+
+    return SweepReport([o for o in outcomes if o is not None])

@@ -42,7 +42,7 @@ paths the simulator is built out of).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.common.config import SystemConfig, small_config
 from repro.common.errors import (
@@ -56,6 +56,9 @@ from repro.sim.crash import capture_golden, check_recovered
 from repro.sim.system import SecureNVMSystem
 from repro.workloads import get_profile
 from repro.workloads.trace import TraceArrays
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import ResultCache
 
 
 @dataclass(frozen=True)
@@ -73,6 +76,19 @@ class CampaignCase:
         """True when the plan models exhausted ADR residual energy."""
         return self.residual_words is not None
 
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "crash_after": self.crash_after,
+            "recovery_crash_after": self.recovery_crash_after,
+            "residual_words": self.residual_words,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "CampaignCase":
+        return cls(**data)
+
 
 @dataclass
 class CaseResult:
@@ -84,6 +100,22 @@ class CaseResult:
     crash_index: int = -1
     recovery_crashed: bool = False
     detail: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "case": self.case.to_json(),
+            "outcome": self.outcome,
+            "crash_point": self.crash_point,
+            "crash_index": self.crash_index,
+            "recovery_crashed": self.recovery_crashed,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "CaseResult":
+        data = dict(data)
+        case = CampaignCase.from_json(data.pop("case"))
+        return cls(case=case, **data)
 
 
 def _step(system: SecureNVMSystem, trace: TraceArrays, i: int) -> None:
@@ -105,10 +137,24 @@ def probe_fire_total(scheme: str, cfg: SystemConfig,
     return plan.run_fires
 
 
+def probe_spans(schemes: list[str], workloads: list[str], seed: int,
+                accesses: int, footprint: int, cfg: SystemConfig,
+                jobs: int = 1, cache: "ResultCache | None" = None,
+                progress: Any = None) -> dict[str, int]:
+    """Probed fire span per ``scheme/workload`` cell, via the executor."""
+    from repro.exec import CellSpec, config_to_dict, run_sweep
+
+    cells = [(s, w) for s in schemes for w in workloads]
+    cfg_dict = config_to_dict(cfg)
+    specs = [CellSpec("probe", s, w, accesses, footprint, seed,
+                      config=cfg_dict) for s, w in cells]
+    report = run_sweep(specs, jobs=jobs, cache=cache, progress=progress)
+    return {f"{s}/{w}": span
+            for (s, w), span in zip(cells, report.values)}
+
+
 def build_cases(schemes: list[str], workloads: list[str], crashes: int,
-                seed: int, cfg: SystemConfig,
-                traces: dict[str, TraceArrays]
-                ) -> tuple[list[CampaignCase], dict[str, int]]:
+                seed: int, spans: dict[str, int]) -> list[CampaignCase]:
     """Spread ``crashes`` cases over every scheme x workload cell.
 
     Crash points are evenly spaced over the cell's probed fire span with
@@ -118,10 +164,8 @@ def build_cases(schemes: list[str], workloads: list[str], crashes: int,
     cells = [(s, w) for s in schemes for w in workloads]
     per_cell = max(1, crashes // len(cells))
     cases: list[CampaignCase] = []
-    spans: dict[str, int] = {}
     for scheme, workload in cells:
-        span = probe_fire_total(scheme, cfg, traces[workload])
-        spans[f"{scheme}/{workload}"] = span
+        span = spans[f"{scheme}/{workload}"]
         rng = make_rng(seed, "faults", scheme, workload)
         for j in range(per_cell):
             base = 1 + (j * span) // per_cell
@@ -137,7 +181,7 @@ def build_cases(schemes: list[str], workloads: list[str], crashes: int,
                 crash_after=min(max(1, span), max(1, base + jitter)),
                 recovery_crash_after=recovery_after,
                 residual_words=residual))
-    return cases, spans
+    return cases
 
 
 def run_case(case: CampaignCase, cfg: SystemConfig,
@@ -227,23 +271,49 @@ def minimize_case(case: CampaignCase, cfg: SystemConfig,
 def run_campaign(schemes: list[str], workloads: list[str],
                  crashes: int = 200, seed: int = 2024,
                  accesses: int = 400, footprint: int = 2048,
-                 cfg: SystemConfig | None = None) -> dict[str, Any]:
-    """Run the full campaign; returns a JSON-serializable report."""
+                 cfg: SystemConfig | None = None,
+                 jobs: int = 1, cache: "ResultCache | None" = None,
+                 progress: Any = None) -> dict[str, Any]:
+    """Run the full campaign; returns a JSON-serializable report.
+
+    Probes and cases fan out over ``repro.exec`` (``jobs`` worker
+    processes, optional result cache).  The report is a pure function of
+    the campaign parameters: it never contains timing or worker-count
+    information, so serial and parallel runs compare byte for byte.
+    """
+    from repro.exec import CellSpec, config_to_dict, run_sweep
+
     if cfg is None:
         cfg = small_config(metadata_cache_bytes=2048)
-    traces = {w: get_profile(w).generate(seed=seed, n=accesses,
-                                         footprint=footprint)
-              for w in workloads}
-    cases, spans = build_cases(schemes, workloads, crashes, seed, cfg,
-                               traces)
+    spans = probe_spans(schemes, workloads, seed, accesses, footprint,
+                        cfg, jobs=jobs, cache=cache, progress=progress)
+    cases = build_cases(schemes, workloads, crashes, seed, spans)
+    cfg_dict = config_to_dict(cfg)
+    specs = [CellSpec("fault", case.scheme, case.workload, accesses,
+                      footprint, seed, config=cfg_dict,
+                      fault={"crash_after": case.crash_after,
+                             "recovery_crash_after":
+                                 case.recovery_crash_after,
+                             "residual_words": case.residual_words})
+             for case in cases]
+    sweep = run_sweep(specs, jobs=jobs, cache=cache, progress=progress)
+
+    # minimization re-runs cases in-process; traces are built on demand
+    traces: dict[str, TraceArrays] = {}
+
+    def trace_for(workload: str) -> TraceArrays:
+        if workload not in traces:
+            traces[workload] = get_profile(workload).generate(
+                seed=seed, n=accesses, footprint=footprint)
+        return traces[workload]
+
     outcomes: dict[str, int] = {}
     crash_points: dict[str, int] = {}
     cells: dict[str, dict[str, Any]] = {
         cell: {"cases": 0, "outcomes": {}, "fire_span": span}
         for cell, span in spans.items()}
     diverged: list[dict[str, Any]] = []
-    for case in cases:
-        result = run_case(case, cfg, traces[case.workload])
+    for case, result in zip(cases, sweep.values):
         outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
         if result.crash_point:
             crash_points[result.crash_point] = \
@@ -264,7 +334,7 @@ def run_campaign(schemes: list[str], workloads: list[str],
             }
             if len(diverged) < 3:  # minimization is a full re-run loop
                 entry["minimized_prefix"] = minimize_case(
-                    case, cfg, traces[case.workload])
+                    case, cfg, trace_for(case.workload))
             diverged.append(entry)
     return {
         "seed": seed,

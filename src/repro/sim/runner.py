@@ -40,6 +40,13 @@ class RunSpec:
     The default footprint (8 MB of data blocks) deliberately exceeds the
     2 MB LLC of Table I so dirty evictions actually reach the memory
     controller, which is where the compared schemes differ.
+
+    ``seed`` is the cell's explicit base seed: the workload generator
+    derives a profile-unique sub-seed from ``(seed, workload)`` (see
+    :meth:`repro.workloads.spec.WorkloadProfile.generate`), so no two
+    cells of a sweep share an RNG stream, while every *variant* run on
+    the same (workload, seed) sees the identical trace — the paper's
+    apples-to-apples comparison.
     """
 
     variant: str

@@ -61,6 +61,31 @@ class RunResult:
             **self.detail,
         }
 
+    # --------------------------------------------------- serialization
+    def to_json(self) -> dict[str, object]:
+        """Lossless JSON form: unlike :meth:`as_dict` (which flattens
+        ``detail`` for human-facing exports), this round-trips exactly —
+        JSON preserves every float64 bit-for-bit via shortest-repr.
+        """
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "exec_time_ns": self.exec_time_ns,
+            "data_reads": self.data_reads,
+            "data_writes": self.data_writes,
+            "avg_read_latency_ns": self.avg_read_latency_ns,
+            "avg_write_latency_ns": self.avg_write_latency_ns,
+            "nvm_write_traffic": self.nvm_write_traffic,
+            "nvm_read_traffic": self.nvm_read_traffic,
+            "energy_nj": self.energy_nj,
+            "metadata_cache_hit_rate": self.metadata_cache_hit_rate,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object]) -> "RunResult":
+        return cls(**data)  # type: ignore[arg-type]
+
 
 def geometric_mean(values: list[float]) -> float:
     """Geomean used for "on average" claims across workloads."""

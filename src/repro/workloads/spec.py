@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.errors import ConfigError
-from repro.common.rng import make_rng
+from repro.common.rng import derive_seed, make_rng
 from repro.workloads import synthetic as syn
 from repro.workloads.trace import TraceArrays, interleave
 
@@ -46,10 +46,22 @@ class WorkloadProfile:
     footprint_mult: float = 1.0
 
     def generate(self, seed: int, n: int, footprint: int) -> TraceArrays:
+        """Build the trace from a *profile-unique* derived seed.
+
+        The builders compose shared primitives (``sequential``, ``zipf``,
+        ...) that tag their streams only by primitive kind, so two
+        profiles handed the same base seed would draw from identical
+        sub-streams.  Deriving ``(seed, "workload", name)`` here gives
+        every (workload, seed) cell of a sweep its own independent RNG
+        stream; variants deliberately share the trace (the paper
+        compares schemes on identical access streams), which is why the
+        derivation excludes the variant.
+        """
         if n <= 0 or footprint <= 0:
             raise ConfigError("length and footprint must be positive")
-        return self.build(seed, n, max(64, int(footprint
-                                               * self.footprint_mult)))
+        cell_seed = derive_seed(seed, "workload", self.name)
+        return self.build(cell_seed, n, max(64, int(footprint
+                                                    * self.footprint_mult)))
 
 
 def _lbm(seed: int, n: int, fp: int) -> TraceArrays:

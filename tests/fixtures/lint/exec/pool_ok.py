@@ -1,0 +1,17 @@
+"""Fixture: the executor package itself may import pools — silent.
+
+Lives under an ``exec/`` directory to mirror ``repro/exec``, which is
+how SL501 scopes its exemption.
+"""
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(worker, items, jobs):
+    with multiprocessing.Pool(jobs) as pool:
+        return pool.map(worker, items)
+
+
+def fan_out_threads(worker, items, jobs):
+    with ProcessPoolExecutor(jobs) as pool:
+        return list(pool.map(worker, items))

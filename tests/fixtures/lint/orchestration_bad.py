@@ -1,0 +1,20 @@
+"""Fixture: worker pools outside repro.exec (SL501)."""
+import multiprocessing                          # SL501: bare import
+import multiprocessing.pool                     # SL501: submodule import
+import concurrent.futures                       # SL501: futures import
+from multiprocessing import Pool                # SL501: from-import
+from concurrent.futures import ProcessPoolExecutor  # SL501: from-import
+
+
+def fan_out(cells):
+    with Pool(4) as pool:
+        return pool.map(run, cells)
+
+
+def fan_out_futures(cells):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(run, cells))
+
+
+def run(cell):
+    return cell

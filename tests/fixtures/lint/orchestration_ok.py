@@ -1,0 +1,13 @@
+"""Fixture: fan-out routed through the executor — no diagnostics."""
+from repro.exec import CellSpec, run_sweep
+
+
+def fan_out(variants, workload):
+    specs = [CellSpec("sim", v, workload, 1000, 4096, 1)
+             for v in variants]
+    return run_sweep(specs, jobs=4).values
+
+
+def concurrency_unrelated(futures):             # plain identifiers: fine
+    concurrent = len(futures)
+    return concurrent

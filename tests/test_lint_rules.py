@@ -115,6 +115,30 @@ class TestFaultHookRule:
         assert lint("faults_ok.py").diagnostics == []
 
 
+class TestOrchestrationRule:
+    def test_flags_every_pool_import_form(self):
+        result = lint("orchestration_bad.py")
+        assert hits(result) == [
+            ("SL501", 2),   # import multiprocessing
+            ("SL501", 3),   # import multiprocessing.pool
+            ("SL501", 4),   # import concurrent.futures
+            ("SL501", 5),   # from multiprocessing import Pool
+            ("SL501", 6),   # from concurrent.futures import ...
+        ]
+        assert result.exit_code() == 1
+
+    def test_executor_package_and_run_sweep_callers_are_silent(self):
+        assert lint("exec/pool_ok.py").diagnostics == []
+        assert lint("orchestration_ok.py").diagnostics == []
+
+    def test_reasoned_suppression_path(self, tmp_path):
+        copy = tmp_path / "special.py"
+        copy.write_text(
+            "# simlint: disable-next=SL501 -- test: sanctioned fan-out\n"
+            "import multiprocessing\n")
+        assert run_lint([str(copy)]).diagnostics == []
+
+
 class TestSuppressions:
     def test_reasoned_directives_silence_by_id_and_name(self):
         assert lint("suppress_reasoned.py").diagnostics == []
