@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint simlint ruff mypy faults-smoke sweep-smoke all
+.PHONY: test lint simlint ruff mypy faults-smoke sweep-smoke trace-smoke all
 
 all: lint test
 
@@ -27,6 +27,16 @@ sweep-smoke:
 	grep -q "0 simulated" .sweep-smoke/warm.err
 	cmp .sweep-smoke/cold.txt .sweep-smoke/warm.txt
 	rm -rf .sweep-smoke
+
+# traced run covering every event family (NVM, metacache, SIT,
+# NV-buffer, ADR, recovery), then schema-validate both artifacts
+trace-smoke:
+	rm -rf .trace-smoke
+	$(PYTHON) -m repro trace steins-gc pers_hash \
+		--accesses 6000 --footprint 32768 --small --recover \
+		--out .trace-smoke
+	$(PYTHON) -m repro.obs .trace-smoke/trace.json .trace-smoke/metrics.json
+	rm -rf .trace-smoke
 
 lint: simlint ruff mypy
 

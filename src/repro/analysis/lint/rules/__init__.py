@@ -9,6 +9,7 @@ Rule id allocation:
 * SL301-SL399  stats hygiene
 * SL401-SL499  error and fault-injection hygiene
 * SL501-SL599  orchestration hygiene
+* SL601-SL699  observability hygiene
 * SL999        parse errors (engine-emitted)
 """
 from repro.analysis.lint.rules import (  # noqa: F401  -- registration
@@ -16,6 +17,7 @@ from repro.analysis.lint.rules import (  # noqa: F401  -- registration
     errors,
     exactness,
     faults,
+    obs,
     orchestration,
     persist,
     stats,

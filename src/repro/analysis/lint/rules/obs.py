@@ -1,0 +1,82 @@
+"""Observability hygiene.
+
+Metrics live in the ``repro.obs`` registry: typed instruments with
+deterministic names, one ``system_registry`` facade, and exporters that
+dump every metric in sorted order.  A new ad-hoc ``*Stats`` /
+``*Report`` container grown elsewhere forks a private counter namespace
+that no exporter, figure, or ``repro trace`` dump ever sees — the
+pre-registry failure mode the observability layer exists to end:
+
+* SL601 ``stats-outside-obs`` (ERROR) — a ``*Stats`` / ``*Report``
+  class defined outside ``repro.obs`` and outside the grandfathered
+  pre-registry set.
+
+The grandfathered containers (device/timing/controller/cache stats and
+the recovery/sweep reports) predate the registry and are mirrored into
+it by ``repro.obs.system_registry``; they stay sanctioned but the set
+must only shrink.  A genuinely new container takes the
+reasoned-suppression path:
+``# simlint: disable-next=SL601 -- <why the registry cannot host it>``.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.registry import (
+    FileUnit,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+#: pre-registry stat containers, mirrored by repro.obs.system_registry;
+#: matched by (parent dir, filename) suffix so the rule is rooted at the
+#: package regardless of how the lint paths were given
+_GRANDFATHERED: tuple[tuple[str, str], ...] = (
+    ("exec", "pool.py"),         # SweepReport
+    ("nvm", "device.py"),        # DeviceStats
+    ("nvm", "timing.py"),        # TimingStats
+    ("baselines", "report.py"),  # RecoveryReport
+    ("baselines", "base.py"),    # ControllerStats
+    ("mem", "cache.py"),         # CacheStats
+)
+
+
+def _is_stats_class(node: ast.ClassDef) -> bool:
+    # TestFooStats-style test classes are not stat containers
+    return node.name.endswith(("Stats", "Report")) \
+        and not node.name.startswith("Test")
+
+
+def _is_sanctioned(unit: FileUnit) -> bool:
+    parts = unit.parts
+    if "obs" in parts[:-1]:
+        return True
+    return parts[-2:] in [tuple(g) for g in _GRANDFATHERED]
+
+
+@register
+class StatsOutsideObsRule(Rule):
+    id = "SL601"
+    name = "stats-outside-obs"
+    severity = Severity.ERROR
+    description = ("*Stats / *Report container defined outside repro.obs "
+                   "and the grandfathered set")
+    invariant = ("every metric flows through the repro.obs registry, so "
+                 "exporters and the trace CLI see the complete, "
+                 "deterministically-named metric set")
+    paper = "observability layer (docs/observability.md)"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        if _is_sanctioned(unit):
+            return
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.ClassDef) and _is_stats_class(node):
+                yield self.diag(unit, node, (
+                    f"class '{node.name}': new stat containers belong in "
+                    "the repro.obs metric registry (Counter/Gauge/"
+                    "Histogram via MetricRegistry), not a fresh ad-hoc "
+                    "dataclass no exporter reads"))

@@ -36,6 +36,7 @@ from repro.integrity.node import SITNode, make_empty_node
 from repro.integrity.sit import SITRoot, verify_node
 from repro.nvm.device import NVMDevice
 from repro.nvm.layout import Region
+from repro.obs.tracer import EV_SIT_WALK
 
 
 from typing import TYPE_CHECKING
@@ -116,12 +117,14 @@ class SecureMemoryController:
         self.cfg = cfg
         self.device = device
         self.clock = clock
+        self.tracer = clock.tracer
         self.engine: HashEngine = make_engine(
             cfg.security.secret_key,
             cryptographic=cfg.security.cryptographic_hashes)
         self.geometry: TreeGeometry = geometry_for(
             cfg.num_data_blocks, cfg.security)
-        self.metacache = MetadataCache(cfg.security.metadata_cache)
+        self.metacache = MetadataCache(cfg.security.metadata_cache,
+                                       tracer=self.tracer)
         self.root = SITRoot(self.geometry)
         self.stats = ControllerStats()
         self._leaf_split = cfg.security.counter_mode is CounterMode.SPLIT
@@ -198,6 +201,9 @@ class SecureMemoryController:
         self.stats.write_latency_ns += latency
         if latency > self.stats.max_write_latency_ns:
             self.stats.max_write_latency_ns = latency
+        if self.tracer.enabled:
+            self.tracer.metrics.histogram(
+                "ctrl.write.latency_ns").observe(latency)
 
     def read_data(self, block_addr: int) -> int:
         """Handle an LLC demand miss: fetch, decrypt, verify (Sec. III-F)."""
@@ -221,6 +227,9 @@ class SecureMemoryController:
         self.stats.read_latency_ns += latency
         if latency > self.stats.max_read_latency_ns:
             self.stats.max_read_latency_ns = latency
+        if self.tracer.enabled:
+            self.tracer.metrics.histogram(
+                "ctrl.read.latency_ns").observe(latency)
         return plaintext
 
     def _decrypt_and_verify(self, block_addr: int, counter: int,
@@ -313,6 +322,9 @@ class SecureMemoryController:
         self.clock.hash_op()
         verify_node(self.engine, node, parent_counter)
         self.stats.metadata_fetches += 1
+        if self.tracer.enabled:
+            self.tracer.emit(EV_SIT_WALK, level=level, index=index,
+                             offset=offset)
         self._install(offset, node, dirty=False, refresh_on_flush=True)
         cached = self.metacache.peek(offset)
         return cached if cached is not None else node
@@ -504,9 +516,13 @@ class SecureMemoryController:
                 if not self.metacache.is_dirty(offset):
                     continue  # an eviction or deeper flush already did it
                 fire("controller.flush")
+                # Clean *before* flushing: the flush's parent-update
+                # phase can re-enter this node (a nested drain applying
+                # another child's counter after the persist) and re-mark
+                # it dirty; a mark_clean afterwards would erase that and
+                # strand the update in a clean cache entry NVM never saw.
+                self.metacache.mark_clean(offset)
                 self._flush_dirty_node(node)
-                if self.metacache.contains(offset):
-                    self.metacache.mark_clean(offset)
                 self._on_dirty_to_clean(offset, node, evicted=False)
         if self.metacache.dirty_count():
             raise AssertionError("flush_all failed to reach a clean state")

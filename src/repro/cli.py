@@ -11,6 +11,7 @@ Commands
 ``workloads`` list the available workload profiles
 ``sweep``     parallel figure-matrix sweep with a result cache (docs/orchestration.md)
 ``faults``    deterministic fault-injection campaign (see docs/fault_injection.md)
+``trace``     run one cell with tracing armed; write Chrome-trace + metric dumps (docs/observability.md)
 ``lint``      run simlint over the tree (see ``repro.analysis.lint``)
 """
 from __future__ import annotations
@@ -30,7 +31,7 @@ from repro.common.units import GB, TB, pretty_time_ns
 from repro.core.countergen import years_to_overflow
 from repro.exec import ResultCache
 from repro.sim.runner import GC_VARIANTS, SC_VARIANTS, RunSpec, VARIANTS, \
-    make_system, run_cell
+    make_system, run_cell, run_trace
 from repro.workloads import ALL_PROFILES, PAPER_WORKLOADS
 
 FIGURES = {
@@ -134,6 +135,28 @@ def build_parser() -> argparse.ArgumentParser:
                              "cache (off by default)")
     faults.add_argument("--json", action="store_true",
                         help="emit the full report as JSON")
+
+    trc = sub.add_parser(
+        "trace",
+        help="run one cell with tracing armed; write obs artifacts")
+    trc.add_argument("variant", choices=sorted(VARIANTS))
+    trc.add_argument("workload", choices=sorted(ALL_PROFILES))
+    trc.add_argument("--accesses", type=int, default=20_000)
+    trc.add_argument("--footprint", type=int, default=1 << 15)
+    trc.add_argument("--seed", type=int, default=2024)
+    trc.add_argument("--out", default="trace-out",
+                     help="directory for trace.json / metrics.json / "
+                          "metrics.csv")
+    trc.add_argument("--capacity", type=int, default=None,
+                     help="event ring-buffer capacity (default 65536; "
+                          "older events beyond it are dropped)")
+    trc.add_argument("--recover", action="store_true",
+                     help="crash after the trace and trace the recovery "
+                          "(recovery-capable variants only)")
+    trc.add_argument("--small", action="store_true",
+                     help="use the scaled-down test configuration (16 KB "
+                          "metadata cache) so eviction and NV-buffer "
+                          "activity shows up in short traces")
 
     lint = sub.add_parser(
         "lint", help="run simlint (crash-consistency/determinism checks)",
@@ -309,6 +332,48 @@ def cmd_faults(args) -> int:
     return 1 if report["outcomes"].get("diverged") else 0
 
 
+def cmd_trace(args) -> int:
+    """One traced cell -> Chrome-trace JSON + metric dumps on disk."""
+    from repro import obs
+
+    tracer = (obs.Tracer() if args.capacity is None
+              else obs.Tracer(capacity=args.capacity))
+    cfg = small_config() if args.small else None
+    system = make_system(args.variant, cfg, tracer=tracer)
+    if args.recover and not system.controller.supports_recovery:
+        print(f"error: variant {args.variant!r} does not support "
+              "recovery", file=sys.stderr)
+        return 2
+    profile = ALL_PROFILES[args.workload]
+    trace = profile.generate(args.seed, args.accesses, args.footprint)
+    result = run_trace(system, trace, args.workload,
+                       flush_writes=profile.persistent)
+    if args.recover:
+        system.crash()
+        system.recover()
+
+    registry = obs.system_registry(system, tracer)
+    os.makedirs(args.out, exist_ok=True)
+    trace_path = os.path.join(args.out, "trace.json")
+    metrics_path = os.path.join(args.out, "metrics.json")
+    csv_path = os.path.join(args.out, "metrics.csv")
+    obs.write_chrome_trace(trace_path, tracer,
+                           label=f"{args.variant} x {args.workload}")
+    obs.write_metrics_json(metrics_path, registry, tracer)
+    obs.write_metrics_csv(csv_path, registry)
+
+    counts = tracer.counts_by_kind()
+    print(render_kv(f"traced {args.variant} x {args.workload}", {
+        "exec time": pretty_time_ns(result.exec_time_ns),
+        "events retained": f"{len(tracer)} "
+                           f"(+{tracer.dropped} dropped)",
+        **{f"  {kind}": str(n) for kind, n in counts.items()},
+        "metrics": str(len(registry)),
+        "artifacts": f"{trace_path}, {metrics_path}, {csv_path}",
+    }))
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.lint.main import main as lint_main
 
@@ -343,6 +408,7 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": cmd_workloads,
         "sweep": cmd_sweep,
         "faults": cmd_faults,
+        "trace": cmd_trace,
         "lint": cmd_lint,
     }[args.command]
     return handler(args)

@@ -33,6 +33,7 @@ from repro.faults.registry import atomic, fire, residual_budget
 from repro.integrity.node import SITNode
 from repro.nvm.adr import ADRDomain
 from repro.nvm.device import NVMDevice
+from repro.obs.tracer import EV_NVBUF_APPEND, EV_NVBUF_DRAIN
 
 
 from typing import TYPE_CHECKING
@@ -68,7 +69,8 @@ class SteinsController(SecureMemoryController):
         # (Sec. III-C): residual power flushes it at crash time, metered
         # against the fault plan's energy budget when one is armed
         self.adr = ADRDomain(
-            capacity_bytes=cfg.security.record_cache_lines * 64)
+            capacity_bytes=cfg.security.record_cache_lines * 64,
+            tracer=self.tracer)
         self.adr.register(
             "record-lines", cfg.security.record_cache_lines * 64,
             flush=OffsetRecordTracker.flush_on_crash, wants_budget=True)
@@ -99,8 +101,10 @@ class SteinsController(SecureMemoryController):
             # window stays small — at the price of extra write-backs.
             drift = self._leaf_drift.get(offset, 0) + result.gensum_delta
             if drift >= self.cfg.security.osiris_stop_loss:
-                self._flush_dirty_node(node)
+                # clean before flushing, as in flush_all: a nested
+                # re-dirty during the flush must survive
                 self.metacache.mark_clean(offset)
+                self._flush_dirty_node(node)
                 self._on_dirty_to_clean(offset, node, evicted=False)
                 self.stats.bump("osiris_stop_loss_writes")
                 self._leaf_drift.pop(offset, None)
@@ -178,6 +182,9 @@ class SteinsController(SecureMemoryController):
             self.nv_buffer.append(BufferedUpdate(level, index, generated))
             self.clock.sram_op()
             self.stats.bump("buffered_parent_updates")
+            if self.tracer.enabled:
+                self.tracer.emit(EV_NVBUF_APPEND, level=level, index=index,
+                                 pending=len(self.nv_buffer))
             if self.nv_buffer.full and not self._draining:
                 self.drain_buffer()
             return
@@ -234,11 +241,15 @@ class SteinsController(SecureMemoryController):
             return
         self._draining = True
         try:
+            drained = 0
             for _ in range(10_000):  # physical chains are tiny
                 update = self.nv_buffer.peek_first()
                 if update is None:
+                    if drained and self.tracer.enabled:
+                        self.tracer.emit(EV_NVBUF_DRAIN, entries=drained)
                     return
                 fire("steins.drain")
+                drained += 1
                 self._apply_parent_update(
                     update.child_level, update.child_index,
                     update.generated_counter, allow_buffer=False)

@@ -54,6 +54,7 @@ from repro.crypto import cme
 from repro.faults.registry import POINT_RECOVERY, atomic, fire
 from repro.integrity.node import SITNode, make_empty_node
 from repro.nvm.layout import Region
+from repro.obs.tracer import EV_RECOVERY_STEP
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.controller import SteinsController
@@ -82,6 +83,9 @@ class SteinsRecovery:
         self._records = records
         self.report.read(lines_read)
         self.report.bump("record_lines", lines_read)
+        if c.tracer.enabled:
+            c.tracer.emit(EV_RECOVERY_STEP, step="read_records",
+                          count=lines_read)
 
         by_level: dict[int, set[int]] = {k: set() for k in range(g.num_levels)}
         for offset in records.values():
@@ -90,6 +94,9 @@ class SteinsRecovery:
 
         expected = list(c.lincs.values())
         pending_by_parent_level = self._plan_nv_buffer(by_level)
+        if c.tracer.enabled:
+            c.tracer.emit(EV_RECOVERY_STEP, step="plan_nv_buffer",
+                          count=len(c.nv_buffer))
 
         computed = [0] * g.num_levels
         for level in range(g.top_level, -1, -1):
@@ -99,6 +106,9 @@ class SteinsRecovery:
             self._replay_pending(pending_by_parent_level.get(level, []),
                                  expected)
             computed[level] = self._recover_level(level, by_level[level])
+            if c.tracer.enabled:
+                c.tracer.emit(EV_RECOVERY_STEP, step="recover_level",
+                              level=level, count=len(by_level[level]))
             if computed[level] != expected[level]:
                 if computed[level] < expected[level]:
                     raise ReplayDetectedError(
@@ -391,6 +401,9 @@ class SteinsRecovery:
                 if offset in in_commit:
                     c.force_install(offset, live[offset],
                                     slot=slot_for.get(offset))
+        if c.tracer.enabled:
+            c.tracer.emit(EV_RECOVERY_STEP, step="commit",
+                          count=len(in_commit))
 
         for offset in order:
             if offset in in_commit:
@@ -399,6 +412,9 @@ class SteinsRecovery:
             c.force_install(offset, live[offset],
                             slot=slot_for.get(offset))
         self.report.bump("reinstalled", len(live))
+        if c.tracer.enabled:
+            c.tracer.emit(EV_RECOVERY_STEP, step="reinstall",
+                          count=len(live))
 
     def _claim_slot(self, offset: int, reserved: set[int]) -> int | None:
         """A cache slot in ``offset``'s set not claimed by a live node.

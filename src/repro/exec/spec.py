@@ -16,6 +16,11 @@ Cache-key anatomy (see also ``docs/orchestration.md``)::
 Any change to a knob that can change the result — a config field, the
 seed, the trace length, the crash plan, or the code-version tag — yields
 a different key, so stale entries are simply never looked up.
+
+Observability (``repro.obs``) is deliberately *absent* from the spec
+and therefore from the key: a tracer is an observer that never changes
+a result, so cached untraced results stay valid for traced reruns and
+vice versa (pinned by ``tests/test_obs.py``).
 """
 from __future__ import annotations
 

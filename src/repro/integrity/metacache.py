@@ -19,15 +19,24 @@ from repro.common.errors import ConfigError
 from repro.faults.registry import fire
 from repro.integrity.node import SITNode
 from repro.mem.cache import CacheStats
+from repro.obs.tracer import (
+    EV_MC_EVICT,
+    EV_MC_HIT,
+    EV_MC_MISS,
+    NULL_TRACER,
+    Tracer,
+)
 
 
 class MetadataCache:
     """Set-associative LRU cache of SIT nodes with stable way slots."""
 
-    def __init__(self, cfg: CacheConfig) -> None:
+    def __init__(self, cfg: CacheConfig,
+                 tracer: Tracer = NULL_TRACER) -> None:
         if cfg.num_sets <= 0:
             raise ConfigError("metadata cache must have at least one set")
         self.cfg = cfg
+        self.tracer = tracer
         self.num_sets = cfg.num_sets
         self.ways = cfg.ways
         # Per set: LRU-ordered {offset: (node, dirty, way)}.
@@ -49,10 +58,15 @@ class MetadataCache:
         """
         s = self._sets[offset % self.num_sets]
         entry = s.get(offset)
+        tr = self.tracer
         if entry is None:
             self.stats.misses += 1
+            if tr.enabled:
+                tr.emit(EV_MC_MISS, offset=offset)
             return None
         self.stats.hits += 1
+        if tr.enabled:
+            tr.emit(EV_MC_HIT, offset=offset)
         s[offset] = s.pop(offset)  # move to MRU
         return entry[0]
 
@@ -106,6 +120,8 @@ class MetadataCache:
             self.stats.evictions += 1
             if vdirty:
                 self.stats.dirty_evictions += 1
+            if self.tracer.enabled:
+                self.tracer.emit(EV_MC_EVICT, offset=voff, dirty=vdirty)
         s[offset] = (node, dirty, way)
         return victim
 

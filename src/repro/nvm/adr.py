@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.common.errors import ConfigError
+from repro.obs.tracer import EV_ADR_FLUSH, NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.registry import ResidualBudget
@@ -24,10 +25,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class ADRDomain:
     """A crash-flushable set of named slots."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int,
+                 tracer: Tracer = NULL_TRACER) -> None:
         if capacity_bytes <= 0:
             raise ConfigError("ADR capacity must be positive")
         self.capacity_bytes = capacity_bytes
+        self.tracer = tracer
         self._slots: dict[str, Any] = {}
         self._sizes: dict[str, int] = {}
         self._flushers: dict[str, Callable[..., None]] = {}
@@ -84,9 +87,12 @@ class ADRDomain:
         and the first failure is re-raised only after all of them ran.
         """
         failures: list[Exception] = []
+        tr = self.tracer
         for name, flush in self._flushers.items():
             if name not in self._slots:
                 continue
+            if tr.enabled:
+                tr.emit(EV_ADR_FLUSH, slot=name)
             try:
                 if name in self._budget_flushers:
                     flush(self._slots[name], budget)

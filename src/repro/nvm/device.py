@@ -29,6 +29,7 @@ from repro.common.errors import LayoutError, TamperDetectedError
 from repro.faults.registry import ResidualBudget
 from repro.faults.torn import WORDS_PER_LINE, TornLine, tear_value
 from repro.nvm.layout import MemoryLayout, Region
+from repro.obs.tracer import EV_WPQ_DRAIN, NULL_TRACER, Tracer
 
 #: write-pending-queue depth in lines; older entries are retired durable
 WPQ_DEPTH = 64
@@ -64,8 +65,10 @@ class DeviceStats:
 class NVMDevice:
     """Persistent line-granular object store with access statistics."""
 
-    def __init__(self, layout: MemoryLayout) -> None:
+    def __init__(self, layout: MemoryLayout,
+                 tracer: Tracer = NULL_TRACER) -> None:
         self.layout = layout
+        self.tracer = tracer
         self._store: dict[tuple[Region, int], Any] = {}
         self.stats = DeviceStats()
         # (region, index, pre-image) per in-flight write, oldest first;
@@ -173,7 +176,13 @@ class NVMDevice:
         """
         entries = list(self._wpq)
         self._wpq.clear()
+        tr = self.tracer
+        torn_before = self.wpq_torn
+        rolled_before = self.wpq_rolled_back
         if budget is None:
+            if tr.enabled:
+                tr.emit(EV_WPQ_DRAIN, entries=len(entries), torn=0,
+                        rolled_back=0)
             return
         cut = len(entries)
         torn_words = 0
@@ -198,6 +207,10 @@ class NVMDevice:
             else:
                 self._restore_line(region, index, old)
                 self.wpq_rolled_back += 1
+        if tr.enabled:
+            tr.emit(EV_WPQ_DRAIN, entries=len(entries),
+                    torn=self.wpq_torn - torn_before,
+                    rolled_back=self.wpq_rolled_back - rolled_before)
 
     @staticmethod
     def _torn_value(region: Region, old: Any, new: Any, words: int) -> Any:

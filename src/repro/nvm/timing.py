@@ -72,6 +72,7 @@ class NVMTimingModel:
         self.cfg = cfg
         self.rows = RowBufferModel(cfg)
         self.stats = TimingStats()
+        self.last_row_hit = False  # outcome of the most recent access
         self._device_free_at = 0.0
         self._queue: list[float] = []  # completion times, ascending
 
@@ -84,6 +85,7 @@ class NVMTimingModel:
         """
         self._drain(now_ns)
         hit = self.rows.access(row)
+        self.last_row_hit = hit
         latency = self.cfg.read_hit_ns if hit else self.cfg.read_miss_ns
         if hit:
             self.stats.row_hits += 1

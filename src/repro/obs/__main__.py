@@ -1,0 +1,42 @@
+"""Artifact validator: ``python -m repro.obs TRACE.json METRICS.json``.
+
+The schema half of ``make trace-smoke``: loads the two artifacts a
+``repro trace`` run wrote and runs the repro.obs validators over them.
+Exits non-zero listing every problem found.
+"""
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.export import validate_chrome_trace, validate_metrics
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print("usage: python -m repro.obs TRACE.json METRICS.json",
+              file=sys.stderr)
+        return 2
+    trace_path, metrics_path = argv
+    problems: list[str] = []
+    for label, path, check in (
+        ("trace", trace_path, validate_chrome_trace),
+        ("metrics", metrics_path, validate_metrics),
+    ):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{label}: cannot load {path}: {exc}")
+            continue
+        problems.extend(f"{label}: {p}" for p in check(doc))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"ok: {trace_path} and {metrics_path} validate")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

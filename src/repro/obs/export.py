@@ -1,0 +1,216 @@
+"""Exporters: Chrome-trace JSON, metric dumps (JSON/CSV), validators.
+
+Three artifact shapes, all deterministic for a given simulation:
+
+* :func:`chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` / Perfetto.  Spans (``dur_ns > 0``) become ``"X"``
+  complete events, instants become ``"i"`` events; each event category
+  (the first dotted segment of the kind) gets its own named thread track
+  so NVM traffic, metacache churn and recovery steps stack visually.
+  Timestamps are *simulated* nanoseconds converted to the format's
+  microsecond unit.
+* :func:`metrics_json` — the registry dump plus a small header (event
+  totals, drop count) so a metrics file is self-describing.
+* :func:`write_metrics_csv` — one row per metric; scalar metrics carry
+  their value, shaped metrics (histogram/window) carry a JSON detail
+  column.
+
+The ``validate_*`` functions are the schema checks behind
+``make trace-smoke``; they return a list of problems (empty == valid)
+rather than raising, so the smoke harness can report them all at once.
+"""
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.tracer import EVENT_SCHEMA, Tracer
+
+#: one Chrome-trace thread track per event category, fixed ordering
+TRACK_TIDS: dict[str, int] = {
+    "nvm": 1,
+    "metacache": 2,
+    "sit": 3,
+    "nvbuffer": 4,
+    "adr": 5,
+    "recovery": 6,
+    "ctrl": 7,
+}
+
+_NS_PER_US = 1000.0
+
+
+# ------------------------------------------------------------ chrome trace
+def chrome_trace(tracer: Tracer, label: str = "repro") -> dict[str, Any]:
+    """Render the tracer's ring buffer as a Trace Event Format document."""
+    events: list[dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": label},
+    }]
+    for category in sorted(TRACK_TIDS):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1,
+            "tid": TRACK_TIDS[category], "args": {"name": category},
+        })
+    for ev in tracer.events():
+        category = ev.kind.split(".", 1)[0]
+        record: dict[str, Any] = {
+            "name": ev.kind,
+            "cat": category,
+            "pid": 1,
+            "tid": TRACK_TIDS.get(category, 0),
+            "ts": ev.ts_ns / _NS_PER_US,
+            "args": dict(ev.args),
+        }
+        if ev.dur_ns > 0:
+            record["ph"] = "X"
+            record["dur"] = ev.dur_ns / _NS_PER_US
+            # "X" spans give their *start*; the tracer stamps completion
+            record["ts"] = (ev.ts_ns - ev.dur_ns) / _NS_PER_US
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        events.append(record)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"dropped_events": tracer.dropped},
+    }
+
+
+def write_chrome_trace(path: str, tracer: Tracer,
+                       label: str = "repro") -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(tracer, label), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+# ------------------------------------------------------------ metric dumps
+def metrics_json(registry: MetricRegistry,
+                 tracer: Tracer | None = None) -> dict[str, Any]:
+    """Self-describing metrics document: header + registry dump."""
+    doc: dict[str, Any] = {
+        "schema": "repro.obs.metrics/1",
+        "metrics": registry.as_dict(),
+    }
+    if tracer is not None:
+        doc["events"] = {
+            "counts_by_kind": tracer.counts_by_kind(),
+            "retained": len(tracer),
+            "dropped": tracer.dropped,
+        }
+    return doc
+
+
+def write_metrics_json(path: str, registry: MetricRegistry,
+                       tracer: Tracer | None = None) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics_json(registry, tracer), fh, indent=1,
+                  sort_keys=True)
+        fh.write("\n")
+
+
+def write_metrics_csv(path: str, registry: MetricRegistry) -> None:
+    """One row per metric: scalars inline, shapes as a JSON detail cell."""
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["name", "type", "value", "detail"])
+        for name, dump in registry.as_dict().items():
+            kind = dump["type"]
+            if kind in ("counter", "gauge"):
+                writer.writerow([name, kind, dump["value"], ""])
+            elif kind == "histogram":
+                detail = {k: dump[k] for k in
+                          ("bounds", "bucket_counts", "total")}
+                writer.writerow([name, kind, dump["count"],
+                                 json.dumps(detail, sort_keys=True)])
+            else:  # window
+                detail = {k: dump[k] for k in ("window_ns", "series")}
+                writer.writerow([name, kind,
+                                 sum(n for _, n in dump["series"]),
+                                 json.dumps(detail, sort_keys=True)])
+
+
+# -------------------------------------------------------------- validators
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Schema-check a Chrome-trace document; [] means valid."""
+    problems: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document is not an object with a 'traceEvents' array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' is not an array"]
+    seen_kinds: set[str] = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in ev:
+                problems.append(f"event {i}: missing {field!r}")
+        if ph == "M":
+            continue
+        if ph not in ("X", "i"):
+            problems.append(f"event {i}: unexpected phase {ph!r}")
+            continue
+        if not isinstance(ev.get("ts"), (int, float)) or ev["ts"] < 0:
+            problems.append(f"event {i}: bad 'ts' {ev.get('ts')!r}")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"event {i}: 'X' event without numeric 'dur'")
+        kind = ev.get("name")
+        if kind not in EVENT_SCHEMA:
+            problems.append(f"event {i}: unknown event kind {kind!r}")
+            continue
+        seen_kinds.add(kind)
+        args = ev.get("args", {})
+        if not EVENT_SCHEMA[kind].issuperset(args):
+            extra = sorted(set(args) - EVENT_SCHEMA[kind])
+            problems.append(f"event {i}: undeclared fields {extra}")
+    if not seen_kinds:
+        problems.append("trace contains no simulation events")
+    return problems
+
+
+_METRIC_REQUIRED = {
+    "counter": ("value",),
+    "gauge": ("value",),
+    "histogram": ("bounds", "bucket_counts", "count", "total"),
+    "window": ("window_ns", "series"),
+}
+
+
+def validate_metrics(doc: Any) -> list[str]:
+    """Schema-check a metrics dump; [] means valid."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != "repro.obs.metrics/1":
+        problems.append(f"unexpected schema tag {doc.get('schema')!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("'metrics' is missing or empty")
+        return problems
+    for name in sorted(metrics):
+        dump = metrics[name]
+        if not isinstance(dump, dict):
+            problems.append(f"{name}: not an object")
+            continue
+        kind = dump.get("type")
+        required = _METRIC_REQUIRED.get(kind)  # type: ignore[arg-type]
+        if required is None:
+            problems.append(f"{name}: unknown metric type {kind!r}")
+            continue
+        for field in required:
+            if field not in dump:
+                problems.append(f"{name}: missing {field!r}")
+        if kind == "histogram" and "bounds" in dump \
+                and "bucket_counts" in dump:
+            if len(dump["bucket_counts"]) != len(dump["bounds"]) + 1:
+                problems.append(f"{name}: bucket/bound count mismatch")
+            elif dump.get("count") != sum(dump["bucket_counts"]):
+                problems.append(f"{name}: bucket counts do not sum "
+                                "to 'count'")
+    return problems

@@ -1,0 +1,310 @@
+"""Metric registry: counters, gauges, histograms, time-windowed series.
+
+Every number a paper figure reads used to live in an ad-hoc ``*Stats``
+dataclass attribute scattered across five modules.  Those dataclasses
+remain — they are the zero-cost facade the simulation hot paths bump —
+but :class:`MetricRegistry` gives them a single namespaced export
+surface (``nvm.device.total_writes``, ``metacache.hit_rate``, ...), and
+adds the two first-class shapes end-of-run aggregates cannot express:
+
+* :class:`Histogram` — per-operation latency distributions with *fixed,
+  deterministic* bucket bounds, so two runs (or serial vs parallel
+  sweeps) always produce comparable, byte-identical dumps;
+* :class:`WindowSeries` — time-windowed counts (e.g. NVM write traffic
+  per 100 us of simulated time), the "where inside the run did the
+  traffic go" view.
+
+Metric names are dotted lowercase (``[a-z0-9_]+(\\.[a-z0-9_]+)*``);
+:func:`system_registry` is the one canonical mapping from a simulated
+system's stats facade into registry names, used by every exporter.
+New stat containers must register here instead of growing another
+ad-hoc dataclass (enforced by simlint SL601).
+"""
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Union
+
+from repro.common.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.obs.tracer import Tracer
+    from repro.sim.system import SecureNVMSystem
+
+#: fixed latency bucket upper bounds (ns); the last bucket is open-ended
+LATENCY_BOUNDS_NS: tuple[float, ...] = (
+    25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0,
+    6400.0, 12800.0, 25600.0, 51200.0, 102400.0,
+)
+
+#: default width of one traffic window in simulated nanoseconds
+DEFAULT_WINDOW_NS: float = 100_000.0
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ConfigError("counters only increase; use a gauge")
+        self.value += n
+
+    def dump(self) -> dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time float (averages, rates, clock readings)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def dump(self) -> dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bound histogram; bucket ``i`` counts values ``<= bounds[i]``.
+
+    One extra overflow bucket counts everything above the last bound.
+    Bounds are part of the metric's identity: re-requesting the same
+    name with different bounds is a configuration error, which is what
+    keeps dumps comparable across runs.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total")
+    kind = "histogram"
+
+    def __init__(self, bounds: tuple[float, ...] = LATENCY_BOUNDS_NS
+                 ) -> None:
+        if not bounds or list(bounds) != sorted(bounds) \
+                or len(set(bounds)) != len(bounds):
+            raise ConfigError(
+                "histogram bounds must be non-empty and strictly ascending")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def dump(self) -> dict[str, object]:
+        return {
+            "type": self.kind,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+
+class WindowSeries:
+    """Counts bucketed by fixed windows of simulated time.
+
+    ``observe(ts_ns)`` increments the window ``int(ts_ns // window_ns)``;
+    the dump lists ``[window_index, count]`` pairs in index order, so
+    traffic-over-time plots come straight out of the metrics file.
+    """
+
+    __slots__ = ("window_ns", "buckets")
+    kind = "window"
+
+    def __init__(self, window_ns: float = DEFAULT_WINDOW_NS) -> None:
+        if window_ns <= 0:
+            raise ConfigError("window width must be positive")
+        self.window_ns = float(window_ns)
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, ts_ns: float, n: int = 1) -> None:
+        index = int(ts_ns // self.window_ns)
+        self.buckets[index] = self.buckets.get(index, 0) + n
+
+    def dump(self) -> dict[str, object]:
+        return {
+            "type": self.kind,
+            "window_ns": self.window_ns,
+            "series": [[i, self.buckets[i]] for i in sorted(self.buckets)],
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram, WindowSeries]
+
+
+class MetricRegistry:
+    """Named metrics with create-on-first-use typed accessors."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    # --------------------------------------------------------- accessors
+    def _get(self, name: str, kind: type) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            if not _NAME_RE.match(name):
+                raise ConfigError(
+                    f"bad metric name {name!r}: use dotted lowercase "
+                    "segments like 'nvm.read.latency_ns'")
+            metric = kind()
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise ConfigError(
+                f"metric {name!r} is a {metric.kind}, not a "
+                f"{kind.kind}")  # type: ignore[attr-defined]
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get(name, Counter)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get(name, Gauge)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = LATENCY_BOUNDS_NS
+                  ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            if not _NAME_RE.match(name):
+                raise ConfigError(
+                    f"bad metric name {name!r}: use dotted lowercase "
+                    "segments like 'nvm.read.latency_ns'")
+            metric = Histogram(bounds)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise ConfigError(
+                f"metric {name!r} is a {metric.kind}, not a histogram")
+        elif metric.bounds != tuple(float(b) for b in bounds):
+            raise ConfigError(
+                f"histogram {name!r} re-requested with different bounds; "
+                "bounds are fixed so dumps stay comparable")
+        return metric
+
+    def window(self, name: str, window_ns: float = DEFAULT_WINDOW_NS
+               ) -> WindowSeries:
+        metric = self._metrics.get(name)
+        if metric is None:
+            if not _NAME_RE.match(name):
+                raise ConfigError(
+                    f"bad metric name {name!r}: use dotted lowercase "
+                    "segments like 'nvm.write.traffic'")
+            metric = WindowSeries(window_ns)
+            self._metrics[name] = metric
+        elif not isinstance(metric, WindowSeries):
+            raise ConfigError(
+                f"metric {name!r} is a {metric.kind}, not a window series")
+        elif metric.window_ns != float(window_ns):
+            raise ConfigError(
+                f"window {name!r} re-requested with a different width")
+        return metric
+
+    # ---------------------------------------------------------- contents
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def absorb(self, other: "MetricRegistry") -> None:
+        """Adopt every metric of ``other``; name clashes are errors."""
+        for name in other.names():
+            if name in self._metrics:
+                raise ConfigError(
+                    f"metric {name!r} exists in both registries")
+            self._metrics[name] = other._metrics[name]
+
+    def as_dict(self) -> dict[str, dict[str, object]]:
+        """Deterministic (name-sorted) dump of every metric."""
+        return {name: self._metrics[name].dump()
+                for name in sorted(self._metrics)}
+
+
+def system_registry(system: "SecureNVMSystem",
+                    tracer: "Tracer | None" = None) -> MetricRegistry:
+    """The canonical facade mapping: one registry for a whole system.
+
+    Ingests every aggregate the legacy ``*Stats`` dataclasses expose
+    (device traffic per region, timing, controller, metadata cache,
+    energy) under stable namespaced names, then absorbs the tracer's
+    live registry (latency histograms, traffic windows) when one is
+    given.  All exporters read this, so a figure and a metrics dump can
+    never disagree about what a counter is called.
+    """
+    reg = MetricRegistry()
+    for key, n in sorted(system.device.stats.snapshot().items()):
+        reg.counter(f"nvm.device.{key}").inc(n)
+    reg.counter("nvm.device.wpq_torn").inc(system.device.wpq_torn)
+    reg.counter("nvm.device.wpq_rolled_back").inc(
+        system.device.wpq_rolled_back)
+
+    timing = system.clock.timing.stats
+    reg.counter("nvm.timing.read_count").inc(timing.read_count)
+    reg.counter("nvm.timing.write_count").inc(timing.write_count)
+    reg.counter("nvm.timing.row_hits").inc(timing.row_hits)
+    reg.counter("nvm.timing.row_misses").inc(timing.row_misses)
+    reg.gauge("nvm.timing.read_latency_ns").set(timing.read_latency_ns)
+    reg.gauge("nvm.timing.write_latency_ns").set(timing.write_latency_ns)
+    reg.gauge("nvm.timing.write_stall_ns").set(timing.write_stall_ns)
+    reg.gauge("nvm.timing.avg_read_ns").set(timing.avg_read_ns)
+    reg.gauge("nvm.timing.avg_write_ns").set(timing.avg_write_ns)
+
+    ctrl = system.controller.stats
+    reg.counter("ctrl.data_reads").inc(ctrl.data_reads)
+    reg.counter("ctrl.data_writes").inc(ctrl.data_writes)
+    reg.counter("ctrl.metadata_fetches").inc(ctrl.metadata_fetches)
+    reg.counter("ctrl.metadata_writebacks").inc(ctrl.metadata_writebacks)
+    reg.counter("ctrl.reencrypted_blocks").inc(ctrl.reencrypted_blocks)
+    reg.gauge("ctrl.avg_read_latency_ns").set(ctrl.avg_read_ns)
+    reg.gauge("ctrl.avg_write_latency_ns").set(ctrl.avg_write_ns)
+    reg.gauge("ctrl.max_read_latency_ns").set(ctrl.max_read_latency_ns)
+    reg.gauge("ctrl.max_write_latency_ns").set(ctrl.max_write_latency_ns)
+    for key in sorted(ctrl.extra):
+        reg.counter(f"ctrl.extra.{key}").inc(ctrl.extra[key])
+
+    cache = system.controller.metacache.stats
+    reg.counter("metacache.hits").inc(cache.hits)
+    reg.counter("metacache.misses").inc(cache.misses)
+    reg.counter("metacache.evictions").inc(cache.evictions)
+    reg.counter("metacache.dirty_evictions").inc(cache.dirty_evictions)
+    reg.gauge("metacache.hit_rate").set(cache.hit_rate)
+
+    for key, n in sorted(system.meter.breakdown.as_dict().items()):
+        reg.counter(f"energy.{key}").inc(n)
+    reg.gauge("energy.total_nj").set(system.meter.total_nj)
+    reg.gauge("sim.exec_time_ns").set(system.clock.now)
+
+    if tracer is not None:
+        reg.absorb(tracer.metrics)
+    return reg

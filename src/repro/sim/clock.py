@@ -23,18 +23,27 @@ from repro.nvm.device import NVMDevice
 from repro.nvm.energy import EnergyMeter
 from repro.nvm.layout import Region
 from repro.nvm.timing import NVMTimingModel
+from repro.obs.tracer import (
+    EV_NVM_READ,
+    EV_NVM_WRITE,
+    EV_WQ_STALL,
+    NULL_TRACER,
+    Tracer,
+)
 
 
 class MemClock:
     """Shared simulated-time authority."""
 
     def __init__(self, cfg: SystemConfig, device: NVMDevice,
-                 meter: EnergyMeter) -> None:
+                 meter: EnergyMeter, tracer: Tracer = NULL_TRACER) -> None:
         self.cfg = cfg
         self.device = device
         self.meter = meter
         self.timing = NVMTimingModel(cfg.nvm)
         self.now = 0.0
+        self.tracer = tracer
+        tracer.bind_clock(self)
         self._lines_per_row = max(1, cfg.nvm.row_bytes // 64)
 
     # ------------------------------------------------------------ time
@@ -51,9 +60,13 @@ class MemClock:
 
     def nvm_read(self, region: Region, index: int) -> object:
         """Blocking read of one line: stalls until data arrives."""
-        done = self.timing.read(self.now, self._row_of(region, index))
+        issued = self.now
+        done = self.timing.read(issued, self._row_of(region, index))
         self.now = done
         self.meter.nvm_read()
+        tr = self.tracer
+        if tr.enabled:
+            self._trace_read(tr, region, index, issued, done)
         return self.device.read(region, index)
 
     def nvm_read_overlapped(self, region: Region, index: int
@@ -64,8 +77,12 @@ class MemClock:
         the caller joins with ``join(completion_time)`` once the parallel
         work is accounted.
         """
-        done = self.timing.read(self.now, self._row_of(region, index))
+        issued = self.now
+        done = self.timing.read(issued, self._row_of(region, index))
         self.meter.nvm_read()
+        tr = self.tracer
+        if tr.enabled:
+            self._trace_read(tr, region, index, issued, done)
         return self.device.read(region, index), done
 
     def nvm_write(self, region: Region, index: int, value: object) -> float:
@@ -73,12 +90,34 @@ class MemClock:
 
         Advances ``now`` only if the write queue was full.
         """
+        issued = self.now
         stall_until, done = self.timing.write(
-            self.now, self._row_of(region, index))
+            issued, self._row_of(region, index))
         self.now = stall_until
         self.meter.nvm_write()
         self.device.write(region, index, value)
+        tr = self.tracer
+        if tr.enabled:
+            stalled = stall_until > issued
+            if stalled:
+                tr.emit(EV_WQ_STALL, ts_ns=stall_until,
+                        dur_ns=stall_until - issued,
+                        depth=self.timing.queue_depth)
+            tr.emit(EV_NVM_WRITE, ts_ns=done, dur_ns=done - issued,
+                    region=region.name, index=index, stalled=stalled)
+            m = tr.metrics
+            m.histogram("nvm.write.latency_ns").observe(done - issued)
+            m.window("nvm.write.traffic", tr.window_ns).observe(issued)
         return done
+
+    def _trace_read(self, tr: Tracer, region: Region, index: int,
+                    issued: float, done: float) -> None:
+        tr.emit(EV_NVM_READ, ts_ns=done, dur_ns=done - issued,
+                region=region.name, index=index,
+                row_hit=self.timing.last_row_hit)
+        m = tr.metrics
+        m.histogram("nvm.read.latency_ns").observe(done - issued)
+        m.window("nvm.read.traffic", tr.window_ns).observe(issued)
 
     def join(self, completion_time: float) -> None:
         """Wait until an overlapped operation finishes."""

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.common.config import CounterMode, SystemConfig, default_config
 from repro.common.errors import ConfigError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.stats import RunResult
 from repro.sim.system import SecureNVMSystem
 from repro.workloads import get_profile
@@ -58,8 +59,14 @@ class RunSpec:
 
 
 def make_system(variant: str, cfg: SystemConfig | None = None,
-                check: bool = True) -> SecureNVMSystem:
-    """Instantiate a system for a paper variant name."""
+                check: bool = True,
+                tracer: Tracer = NULL_TRACER) -> SecureNVMSystem:
+    """Instantiate a system for a paper variant name.
+
+    ``tracer`` arms the observability layer (repro.obs) for this system;
+    the default ``NULL_TRACER`` keeps every emission site disabled, so
+    untraced runs stay byte-identical with and without the layer.
+    """
     if variant not in VARIANTS:
         raise ConfigError(
             f"unknown variant {variant!r}; pick one of {sorted(VARIANTS)}")
@@ -67,7 +74,7 @@ def make_system(variant: str, cfg: SystemConfig | None = None,
     if cfg is None:
         cfg = default_config()
     cfg = cfg.with_counter_mode(mode)
-    return SecureNVMSystem(scheme, cfg, check=check)
+    return SecureNVMSystem(scheme, cfg, check=check, tracer=tracer)
 
 
 def run_trace(system: SecureNVMSystem, trace: TraceArrays,
@@ -86,9 +93,18 @@ def run_trace(system: SecureNVMSystem, trace: TraceArrays,
     return system.result(workload_name)
 
 
-def run_cell(spec: RunSpec, cfg: SystemConfig | None = None) -> RunResult:
-    """Run one (variant, workload) cell from scratch."""
-    system = make_system(spec.variant, cfg, check=spec.check)
+def run_cell(spec: RunSpec, cfg: SystemConfig | None = None,
+             tracer: Tracer = NULL_TRACER) -> RunResult:
+    """Run one (variant, workload) cell from scratch.
+
+    Tracing is an observer only: the returned ``RunResult`` is identical
+    whether or not a live ``tracer`` is attached, which is what lets the
+    repro.exec result cache serve untraced results for traced specs (the
+    tracer never enters :class:`repro.exec.spec.CellSpec` or its cache
+    key).
+    """
+    system = make_system(spec.variant, cfg, check=spec.check,
+                         tracer=tracer)
     profile = get_profile(spec.workload)
     trace = profile.generate(spec.seed, spec.accesses, spec.footprint_blocks)
     return run_trace(system, trace, spec.workload,

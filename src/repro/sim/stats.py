@@ -8,6 +8,7 @@ everything relative to WB.
 """
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -29,10 +30,16 @@ class RunResult:
     detail: dict[str, float] = field(default_factory=dict)
 
     # ---------------------------------------------------- normalization
-    def normalized_to(self, base: "RunResult") -> dict[str, float]:
-        """The paper's presentation: every metric relative to a baseline."""
-        def ratio(a: float, b: float) -> float:
-            return a / b if b else float("nan")
+    def normalized_to(self, base: "RunResult") -> dict[str, float | None]:
+        """The paper's presentation: every metric relative to a baseline.
+
+        A zero-baseline metric has no meaningful ratio; it is reported
+        as an explicit ``None`` (rendered as ``-`` in tables, excluded
+        from geomeans) rather than a ``NaN`` that would silently poison
+        downstream aggregation and plots.
+        """
+        def ratio(a: float, b: float) -> float | None:
+            return a / b if b else None
 
         return {
             "exec_time": ratio(self.exec_time_ns, base.exec_time_ns),
@@ -46,7 +53,13 @@ class RunResult:
         }
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        """Flat human-facing export.
+
+        Detail keys are namespaced as ``detail.<key>`` so a probe- or
+        scheme-specific entry (e.g. a detail named ``energy_nj``) can
+        never shadow a core metric of the same name.
+        """
+        out: dict[str, object] = {
             "scheme": self.scheme,
             "workload": self.workload,
             "exec_time_ns": self.exec_time_ns,
@@ -58,8 +71,15 @@ class RunResult:
             "nvm_read_traffic": self.nvm_read_traffic,
             "energy_nj": self.energy_nj,
             "metadata_cache_hit_rate": self.metadata_cache_hit_rate,
-            **self.detail,
         }
+        for key, value in self.detail.items():
+            namespaced = f"detail.{key}"
+            if namespaced in out:
+                raise ValueError(
+                    f"detail key {key!r} collides with an existing "
+                    "export column")
+            out[namespaced] = value
+        return out
 
     # --------------------------------------------------- serialization
     def to_json(self) -> dict[str, object]:
@@ -88,12 +108,16 @@ class RunResult:
 
 
 def geometric_mean(values: list[float]) -> float:
-    """Geomean used for "on average" claims across workloads."""
+    """Geomean used for "on average" claims across workloads.
+
+    Computed as exp of the mean of logs: a running product of thousands
+    of large (or tiny) ratios over/underflows float64 long before the
+    final root would bring it back into range, while the log-domain sum
+    stays bounded for any realistic sweep.
+    """
     if not values:
         raise ValueError("geometric mean of an empty sequence")
-    product = 1.0
     for v in values:
         if v <= 0:
             raise ValueError(f"geometric mean needs positive values, got {v}")
-        product *= v
-    return product ** (1.0 / len(values))
+    return math.exp(math.fsum(math.log(v) for v in values) / len(values))

@@ -31,6 +31,7 @@ from repro.mem.hierarchy import CacheHierarchy, MemOp
 from repro.nvm.device import NVMDevice
 from repro.nvm.energy import EnergyMeter
 from repro.nvm.layout import MemoryLayout, build_layout
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.clock import MemClock
 from repro.sim.stats import RunResult
 
@@ -78,16 +79,18 @@ class SecureNVMSystem:
     """One simulated machine running one scheme."""
 
     def __init__(self, scheme: str, cfg: SystemConfig,
-                 check: bool = True) -> None:
+                 check: bool = True,
+                 tracer: Tracer = NULL_TRACER) -> None:
         if scheme not in SCHEMES:
             raise ConfigError(
                 f"unknown scheme {scheme!r}; pick one of {sorted(SCHEMES)}")
         self.scheme = scheme
         self.cfg = cfg
         self.check = check
-        self.device = NVMDevice(make_layout(cfg))
+        self.tracer = tracer
+        self.device = NVMDevice(make_layout(cfg), tracer=tracer)
         self.meter = EnergyMeter(cfg.energy)
-        self.clock = MemClock(cfg, self.device, self.meter)
+        self.clock = MemClock(cfg, self.device, self.meter, tracer=tracer)
         self.hierarchy = CacheHierarchy(cfg.hierarchy)
         self.controller: SecureMemoryController = SCHEMES[scheme](
             cfg, self.device, self.clock)

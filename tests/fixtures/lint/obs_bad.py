@@ -1,0 +1,13 @@
+"""Fixture: observability-hygiene violations (SL601)."""
+from dataclasses import dataclass
+
+
+@dataclass
+class DrainStats:               # SL601: new ad-hoc stat container
+    drains: int = 0
+    torn: int = 0
+
+
+class FlushSummaryReport:       # SL601: new ad-hoc report container
+    def __init__(self):
+        self.flushes = 0

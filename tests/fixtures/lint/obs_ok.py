@@ -1,0 +1,14 @@
+"""Fixture: observability hygiene respected — no diagnostics expected.
+
+New metrics go through the repro.obs registry; test classes named
+``Test*Stats`` are not stat containers.
+"""
+
+
+def account(registry):
+    registry.counter("nvm.wpq.drains").inc()
+    registry.gauge("nvm.wpq.depth").set(4)
+
+
+class TestDrainStats:
+    """A test class about stats is not a stats declaration."""

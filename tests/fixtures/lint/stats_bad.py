@@ -1,7 +1,7 @@
 """Fixture: stats-hygiene violations (SL301)."""
 
 
-class FixtureStats:
+class FixtureStats:  # simlint: disable=SL601 -- fixture declares SL301 counters
     KNOWN_KEYS = frozenset({"replays", "drains"})
 
     hits: int = 0

@@ -1,7 +1,7 @@
 """Fixture: stats hygiene respected — no diagnostics expected."""
 
 
-class CleanStats:
+class CleanStats:  # simlint: disable=SL601 -- fixture declares SL301 counters
     KNOWN_KEYS = frozenset({"flushes"})
 
     reads: int = 0

@@ -139,6 +139,31 @@ class TestOrchestrationRule:
         assert run_lint([str(copy)]).diagnostics == []
 
 
+class TestObservabilityRule:
+    def test_flags_adhoc_stat_containers(self):
+        result = lint("obs_bad.py")
+        assert hits(result) == [
+            ("SL601", 6),   # class DrainStats
+            ("SL601", 11),  # class FlushSummaryReport
+        ]
+        assert result.exit_code() == 1
+
+    def test_registry_use_and_test_classes_are_silent(self):
+        assert lint("obs_ok.py").diagnostics == []
+
+    def test_obs_package_and_grandfathered_files_are_sanctioned(
+            self, tmp_path):
+        src = (FIXTURES / "obs_bad.py").read_text()
+        in_obs = tmp_path / "obs" / "metrics.py"
+        in_obs.parent.mkdir()
+        in_obs.write_text(src)
+        grandfathered = tmp_path / "nvm" / "device.py"
+        grandfathered.parent.mkdir()
+        grandfathered.write_text(src)
+        assert run_lint([str(in_obs)]).diagnostics == []
+        assert run_lint([str(grandfathered)]).diagnostics == []
+
+
 class TestSuppressions:
     def test_reasoned_directives_silence_by_id_and_name(self):
         assert lint("suppress_reasoned.py").diagnostics == []

@@ -1,0 +1,305 @@
+"""The observability layer: tracer, metrics, exporters, CLI, and the
+observer-only guarantee (tracing never changes simulation results)."""
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.common.errors import ConfigError
+from repro.obs import (
+    EV_MC_HIT,
+    EV_NVM_READ,
+    EV_NVM_WRITE,
+    EV_RECOVERY_STEP,
+    EVENT_SCHEMA,
+    LATENCY_BOUNDS_NS,
+    NULL_TRACER,
+    MetricRegistry,
+    Tracer,
+    chrome_trace,
+    metrics_json,
+    system_registry,
+    validate_chrome_trace,
+    validate_metrics,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.sim.runner import RunSpec, make_system, run_cell
+
+
+# ------------------------------------------------------------------ tracer
+class TestTracer:
+    def test_emit_records_typed_events(self):
+        tr = Tracer()
+        tr.emit(EV_NVM_READ, ts_ns=100.0, dur_ns=50.0,
+                region="data", index=3, row_hit=True)
+        tr.emit(EV_MC_HIT, ts_ns=120.0, offset=64)
+        assert len(tr) == 2
+        ev = tr.events()[0]
+        assert ev.kind == EV_NVM_READ
+        assert ev.ts_ns == 100.0 and ev.dur_ns == 50.0
+        assert ev.args == {"region": "data", "index": 3, "row_hit": True}
+        assert tr.counts_by_kind() == {EV_MC_HIT: 1, EV_NVM_READ: 1}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown trace event kind"):
+            Tracer().emit("nvm.refresh")
+
+    def test_undeclared_field_rejected(self):
+        with pytest.raises(ConfigError, match="does not declare"):
+            Tracer().emit(EV_NVM_READ, region="data", index=1,
+                          row_hti=True)
+
+    def test_disabled_tracer_is_a_noop(self):
+        tr = Tracer(enabled=False)
+        # even an invalid emission is silently ignored when disabled:
+        # the guard precedes validation, matching the hot-path contract
+        tr.emit("not.a.kind", bogus=1)
+        assert len(tr) == 0 and tr.dropped == 0
+        assert not NULL_TRACER.enabled and len(NULL_TRACER) == 0
+
+    def test_ring_drops_oldest_and_counts(self):
+        tr = Tracer(capacity=3)
+        for i in range(5):
+            tr.emit(EV_MC_HIT, ts_ns=float(i), offset=i)
+        assert len(tr) == 3
+        assert tr.dropped == 2
+        assert [e.args["offset"] for e in tr.events()] == [2, 3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            Tracer(capacity=0)
+
+    def test_null_tracer_never_binds_a_clock(self):
+        class FakeClock:
+            now = 42.0
+
+        NULL_TRACER.bind_clock(FakeClock())
+        assert NULL_TRACER.now() == 0.0
+
+    def test_default_timestamp_comes_from_bound_clock(self):
+        class FakeClock:
+            now = 777.0
+
+        tr = Tracer()
+        tr.bind_clock(FakeClock())
+        tr.emit(EV_MC_HIT, offset=0)
+        assert tr.events()[0].ts_ns == 777.0
+
+    def test_clear_resets_everything(self):
+        tr = Tracer(capacity=1)
+        tr.emit(EV_MC_HIT, ts_ns=0.0, offset=0)
+        tr.emit(EV_MC_HIT, ts_ns=1.0, offset=1)
+        tr.metrics.counter("x").inc()
+        tr.clear()
+        assert len(tr) == 0 and tr.dropped == 0 and len(tr.metrics) == 0
+
+    def test_schema_covers_every_subsystem(self):
+        categories = {kind.split(".", 1)[0] for kind in EVENT_SCHEMA}
+        assert categories == {"nvm", "metacache", "sit", "nvbuffer",
+                              "adr", "recovery"}
+
+
+# ----------------------------------------------------------------- metrics
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        reg = MetricRegistry()
+        reg.counter("a.b").inc()
+        reg.counter("a.b").inc(4)
+        reg.gauge("a.g").set(2.5)
+        assert reg.counter("a.b").value == 5
+        assert reg.gauge("a.g").value == 2.5
+        with pytest.raises(ConfigError):
+            reg.counter("a.b").inc(-1)
+
+    def test_histogram_buckets_deterministically(self):
+        reg = MetricRegistry()
+        h = reg.histogram("lat")
+        h.observe(10.0)       # <= 25 -> bucket 0
+        h.observe(25.0)       # boundary values land in their bucket
+        h.observe(1e9)        # overflow bucket
+        assert h.bucket_counts[0] == 2
+        assert h.bucket_counts[-1] == 1
+        assert h.count == 3
+        assert h.mean == pytest.approx((10.0 + 25.0 + 1e9) / 3)
+        assert h.bounds == LATENCY_BOUNDS_NS
+
+    def test_histogram_bounds_are_identity(self):
+        reg = MetricRegistry()
+        reg.histogram("lat")
+        with pytest.raises(ConfigError, match="different bounds"):
+            reg.histogram("lat", bounds=(1.0, 2.0))
+        with pytest.raises(ConfigError):
+            reg.histogram("bad", bounds=(2.0, 1.0))
+
+    def test_window_series(self):
+        reg = MetricRegistry()
+        w = reg.window("traffic", window_ns=100.0)
+        w.observe(50.0)
+        w.observe(99.0)
+        w.observe(250.0, n=3)
+        assert w.dump()["series"] == [[0, 2], [2, 3]]
+        with pytest.raises(ConfigError, match="different width"):
+            reg.window("traffic", window_ns=200.0)
+
+    def test_type_clash_and_bad_names_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("a.b")
+        with pytest.raises(ConfigError, match="is a counter"):
+            reg.gauge("a.b")
+        with pytest.raises(ConfigError, match="bad metric name"):
+            reg.counter("Not.A.Name")
+
+    def test_absorb_rejects_clashes(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("x").inc()
+        b.counter("y").inc(2)
+        a.absorb(b)
+        assert a.names() == ["x", "y"]
+        c = MetricRegistry()
+        c.counter("x")
+        with pytest.raises(ConfigError, match="both registries"):
+            a.absorb(c)
+
+    def test_dump_is_name_sorted(self):
+        reg = MetricRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        assert list(reg.as_dict()) == ["a", "z"]
+
+
+# --------------------------------------------------------------- exporters
+def traced_run(recover: bool = False) -> tuple[Tracer, object]:
+    tracer = Tracer()
+    spec = RunSpec("steins-gc", "pers_hash", accesses=1500,
+                   footprint_blocks=2048)
+    system = make_system(spec.variant, tracer=tracer)
+    from repro.workloads import get_profile
+
+    profile = get_profile(spec.workload)
+    trace = profile.generate(spec.seed, spec.accesses,
+                             spec.footprint_blocks)
+    from repro.sim.runner import run_trace
+
+    run_trace(system, trace, spec.workload,
+              flush_writes=profile.persistent)
+    if recover:
+        system.crash()
+        system.recover()
+    return tracer, system
+
+
+class TestExporters:
+    def test_chrome_trace_span_semantics(self):
+        tr = Tracer()
+        tr.emit(EV_NVM_WRITE, ts_ns=500.0, dur_ns=100.0,
+                region="data", index=0, stalled=False)
+        tr.emit(EV_MC_HIT, ts_ns=600.0, offset=0)
+        doc = chrome_trace(tr, label="unit")
+        span = next(e for e in doc["traceEvents"]
+                    if e.get("name") == EV_NVM_WRITE)
+        # the tracer stamps completion; "X" spans give their start
+        assert span["ph"] == "X"
+        assert span["ts"] == pytest.approx(0.4)   # (500-100) ns in us
+        assert span["dur"] == pytest.approx(0.1)
+        instant = next(e for e in doc["traceEvents"]
+                       if e.get("name") == EV_MC_HIT)
+        assert instant["ph"] == "i" and instant["s"] == "t"
+        assert validate_chrome_trace(doc) == []
+
+    def test_traced_system_run_validates(self, tmp_path):
+        tracer, system = traced_run(recover=True)
+        kinds = set(tracer.counts_by_kind())
+        assert EV_NVM_READ in kinds and EV_NVM_WRITE in kinds
+        assert EV_RECOVERY_STEP in kinds
+        registry = system_registry(system, tracer)
+        trace_doc = chrome_trace(tracer)
+        metrics_doc = metrics_json(registry, tracer)
+        assert validate_chrome_trace(trace_doc) == []
+        assert validate_metrics(metrics_doc) == []
+        # the registry agrees with the stats facade it mirrors
+        assert registry.counter("ctrl.data_reads").value \
+            == system.controller.stats.data_reads
+        assert registry.counter("metacache.hits").value \
+            == system.controller.metacache.stats.hits
+
+    def test_written_artifacts_round_trip(self, tmp_path):
+        tracer, system = traced_run()
+        registry = system_registry(system, tracer)
+        tp = tmp_path / "trace.json"
+        mp = tmp_path / "metrics.json"
+        cp = tmp_path / "metrics.csv"
+        write_chrome_trace(str(tp), tracer)
+        write_metrics_json(str(mp), registry, tracer)
+        write_metrics_csv(str(cp), registry)
+        assert validate_chrome_trace(json.loads(tp.read_text())) == []
+        mdoc = json.loads(mp.read_text())
+        assert validate_metrics(mdoc) == []
+        assert mdoc["events"]["retained"] == len(tracer)
+        header, *rows = cp.read_text().strip().splitlines()
+        assert header == "name,type,value,detail"
+        assert len(rows) == len(registry)
+
+    def test_validators_catch_malformed_documents(self):
+        assert validate_chrome_trace({"nope": []}) != []
+        bad_event = {"traceEvents": [
+            {"name": "nvm.read", "ph": "X", "pid": 1, "tid": 1,
+             "ts": -1.0, "args": {"bogus": 1}},
+        ]}
+        problems = validate_chrome_trace(bad_event)
+        assert any("bad 'ts'" in p for p in problems)
+        assert any("without numeric 'dur'" in p for p in problems)
+        assert any("undeclared fields" in p for p in problems)
+        assert validate_metrics({"schema": "wrong", "metrics": {}}) != []
+        broken_hist = {
+            "schema": "repro.obs.metrics/1",
+            "metrics": {"h": {"type": "histogram", "bounds": [1.0],
+                              "bucket_counts": [1], "count": 1,
+                              "total": 1.0}},
+        }
+        assert any("mismatch" in p
+                   for p in validate_metrics(broken_hist))
+
+
+# ------------------------------------------------- observer-only guarantee
+class TestObserverOnly:
+    def test_traced_result_identical_to_untraced(self):
+        spec = RunSpec("steins-gc", "pers_hash", accesses=1500,
+                       footprint_blocks=2048)
+        plain = run_cell(spec)
+        traced = run_cell(spec, tracer=Tracer())
+        assert traced.to_json() == plain.to_json()
+
+    def test_tracer_absent_from_cell_spec(self):
+        """The exec cache key must never see the tracer."""
+        from dataclasses import fields
+
+        from repro.exec.spec import CellSpec
+
+        assert "tracer" not in {f.name for f in fields(CellSpec)}
+        assert "tracer" not in {f.name for f in fields(RunSpec)}
+
+
+# --------------------------------------------------------------------- CLI
+class TestTraceCli:
+    def test_trace_subcommand_writes_valid_artifacts(self, tmp_path,
+                                                     capsys):
+        out = tmp_path / "out"
+        assert main(["trace", "steins-gc", "pers_hash",
+                     "--accesses", "1500", "--footprint", "2048",
+                     "--small", "--recover", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "events retained" in printed
+        trace_doc = json.loads((out / "trace.json").read_text())
+        metrics_doc = json.loads((out / "metrics.json").read_text())
+        assert validate_chrome_trace(trace_doc) == []
+        assert validate_metrics(metrics_doc) == []
+        assert (out / "metrics.csv").exists()
+
+    def test_recover_rejected_for_nonrecovery_variant(self, tmp_path,
+                                                      capsys):
+        assert main(["trace", "wb-gc", "pers_hash",
+                     "--accesses", "100", "--footprint", "256",
+                     "--recover", "--out", str(tmp_path / "o")]) == 2
+        assert "does not support recovery" in capsys.readouterr().err

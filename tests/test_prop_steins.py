@@ -83,6 +83,30 @@ def test_flush_all_then_cold_restart_equivalent(addrs):
         assert a.read_data(addr) == b.read_data(addr)
 
 
+def test_flush_all_survives_nested_redirty_regression():
+    """Regression (hypothesis-found): flush_all persisted a parent,
+    then a nested NV-buffer drain (triggered by evictions inside the
+    flush's own parent-update walk) applied a child's generated counter
+    into that parent — and the loop's unconditional mark_clean erased
+    the re-dirty, stranding the update in a clean cache entry NVM never
+    saw.  A cold restart then verified the child against the stale
+    persisted parent counter (HMAC mismatch).  flush_all now marks
+    clean *before* flushing so nested re-dirtying survives."""
+    addrs = [48, 176, 400, 776, 0, 8, 16, 24, 40, 56, 64, 360, 128,
+             400, 768]
+    a, _, _ = make_rig(CounterMode.GENERAL, SteinsController, 1024)
+    b, _, _ = make_rig(CounterMode.GENERAL, SteinsController, 1024)
+    for i, addr in enumerate(addrs):
+        a.write_data(addr, i)
+        b.write_data(addr, i)
+    a.flush_all()
+    a.metacache.clear()
+    b.crash()
+    b.recover()
+    for addr in sorted(set(addrs)):
+        assert a.read_data(addr) == b.read_data(addr)
+
+
 @settings(max_examples=10, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(st.integers(0, 1200), min_size=5, max_size=60))

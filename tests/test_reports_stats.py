@@ -55,17 +55,28 @@ class TestRunResultStats:
         assert norm["write_traffic"] == pytest.approx(2.0)
         assert norm["energy"] == pytest.approx(1.0)
 
-    def test_normalization_zero_base_is_nan(self):
-        import math
+    def test_normalization_zero_base_is_none(self):
+        """A zero-baseline metric has no ratio: it must surface as an
+        explicit None (rendered '-', excluded from geomeans), never as a
+        NaN that poisons downstream aggregation silently."""
         base = self.make(nvm_write_traffic=0)
         other = self.make(nvm_write_traffic=5)
-        assert math.isnan(other.normalized_to(base)["write_traffic"])
+        norm = other.normalized_to(base)
+        assert norm["write_traffic"] is None
+        # the other baselines are non-zero and still produce real ratios
+        assert norm["exec_time"] == pytest.approx(1.0)
 
-    def test_as_dict_includes_detail(self):
-        r = self.make(detail={"max_write_latency_ns": 900.0})
+    def test_as_dict_namespaces_detail(self):
+        """Detail keys export as detail.<key>, so a probe entry named
+        like a core metric can never shadow it."""
+        r = self.make(detail={"max_write_latency_ns": 900.0,
+                              "energy_nj": 7.0})
         d = r.as_dict()
-        assert d["max_write_latency_ns"] == 900.0
+        assert d["detail.max_write_latency_ns"] == 900.0
+        assert d["detail.energy_nj"] == 7.0
+        assert d["energy_nj"] == 1000.0  # the real metric survives
         assert d["scheme"] == "wb"
+        assert "max_write_latency_ns" not in d
 
 
 class TestGeometricMean:
@@ -85,3 +96,14 @@ class TestGeometricMean:
         a = geometric_mean([1.2, 3.4, 0.7, 9.9])
         b = geometric_mean([9.9, 0.7, 3.4, 1.2])
         assert a == pytest.approx(b)
+
+    def test_no_overflow_on_long_extreme_sweeps(self):
+        """Regression: the old running-product implementation hit
+        inf/0.0 long before the final root; exp-of-mean-of-logs stays
+        finite for 10k values at both float64 extremes."""
+        big = [1e300] * 10_000
+        assert geometric_mean(big) == pytest.approx(1e300, rel=1e-9)
+        tiny = [1e-300] * 10_000
+        assert geometric_mean(tiny) == pytest.approx(1e-300, rel=1e-9)
+        mixed = [1e300, 1e-300] * 5_000
+        assert geometric_mean(mixed) == pytest.approx(1.0, rel=1e-9)
