@@ -10,6 +10,7 @@ Rule id allocation:
 * SL401-SL499  error and fault-injection hygiene
 * SL501-SL599  orchestration hygiene
 * SL601-SL699  observability hygiene
+* SL701-SL799  differential-oracle conformance hygiene
 * SL999        parse errors (engine-emitted)
 """
 from repro.analysis.lint.rules import (  # noqa: F401  -- registration
@@ -18,6 +19,7 @@ from repro.analysis.lint.rules import (  # noqa: F401  -- registration
     exactness,
     faults,
     obs,
+    oracle,
     orchestration,
     persist,
     stats,

@@ -77,6 +77,11 @@ class ASITController(SecureMemoryController):
         self.clock.hash_op(serial, on_critical_path=False)
         self.stats.bump("cache_tree_updates")
 
+    def _oracle_extra_state(self) -> dict[str, object]:
+        # the cache-tree root register survives a crash and anchors the
+        # shadow-table verification
+        return {"cache_tree_root": self.cache_tree.root}
+
     # ------------------------------------------------------------ crash
     def _crash_volatile_state(self) -> None:
         self.cache_tree.crash()

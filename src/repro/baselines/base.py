@@ -574,6 +574,36 @@ class SecureMemoryController:
         """Recovery completed: the controller accepts operations again."""
         self._crashed = False
 
+    # ---------------------------------------------------- oracle hooks
+    def oracle_snapshot(self) -> dict[str, object]:
+        """Everything the differential oracle (:mod:`repro.oracle`)
+        compares across a crash/recovery cycle, scheme-independently:
+
+        * ``root``  — the on-chip root counters (must never regress),
+        * ``tree``  — the persisted TREE region (nodes must not vanish),
+        * ``dirty`` — dirty cached nodes (recovery must restore them),
+        * ``extra`` — the scheme's own durable structures, declared via
+          :meth:`_oracle_extra_state` (simlint SL701 requires every
+          controller subclass to define it).
+        """
+        return {
+            "root": self.root.snapshot(),
+            "tree": self.tree_state_fingerprint(),
+            "dirty": {off: node.snapshot()
+                      for off, node in self.metacache.dirty_entries()},
+            "extra": self._oracle_extra_state(),
+        }
+
+    def _oracle_extra_state(self) -> dict[str, object]:
+        """Scheme-specific durable state for :meth:`oracle_snapshot`.
+
+        Subclasses must define this explicitly — an empty dict is a
+        valid answer, but it has to be a *stated* answer, so a new
+        scheme cannot silently keep its trust bases invisible to the
+        conformance harness (enforced statically by SL701).
+        """
+        return {}
+
     # ------------------------------------------------------- inspection
     def cached_dirty_offsets(self) -> set[int]:
         return {off for off, _ in self.metacache.dirty_entries()}

@@ -78,6 +78,11 @@ class SCUEController(SecureMemoryController):
         self.recovery_root.value += result.gensum_delta
         self.clock.sram_op()
 
+    def _oracle_extra_state(self) -> dict[str, object]:
+        # the on-chip grand total of all leaf counters: SCUE's whole
+        # trust base for replay detection at rebuild time
+        return {"recovery_root": self.recovery_root.value}
+
     # ---------------------------------------------------- flush protocol
     def _flush_dirty_node(self, node: SITNode) -> None:
         """Sum-generated counters (the property recovery relies on), but

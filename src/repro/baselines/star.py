@@ -217,6 +217,11 @@ class STARController(SecureMemoryController):
             node.snapshot() + (parent_counter,))
         self.stats.metadata_writebacks += 1
 
+    def _oracle_extra_state(self) -> dict[str, object]:
+        # the dirty-set cache-tree root survives on-chip; the bitmap
+        # lives in NVM and is already covered by the device fingerprint
+        return {"cache_tree_root": self.cache_tree.root}
+
     # ------------------------------------------------------------ crash
     def _crash_volatile_state(self) -> None:
         self.bitmap.crash()

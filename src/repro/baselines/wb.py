@@ -15,3 +15,8 @@ class WBController(SecureMemoryController):
 
     name = "wb"
     supports_recovery = False
+
+    def _oracle_extra_state(self) -> dict[str, object]:
+        # nothing durable beyond the tree: a crash loses dirty nodes,
+        # which is exactly WB's (stated) non-guarantee
+        return {}

@@ -11,6 +11,7 @@ Commands
 ``workloads`` list the available workload profiles
 ``sweep``     parallel figure-matrix sweep with a result cache (docs/orchestration.md)
 ``faults``    deterministic fault-injection campaign (see docs/fault_injection.md)
+``oracle``    differential conformance suite vs the reference model (docs/testing.md)
 ``trace``     run one cell with tracing armed; write Chrome-trace + metric dumps (docs/observability.md)
 ``lint``      run simlint over the tree (see ``repro.analysis.lint``)
 """
@@ -135,6 +136,33 @@ def build_parser() -> argparse.ArgumentParser:
                              "cache (off by default)")
     faults.add_argument("--json", action="store_true",
                         help="emit the full report as JSON")
+
+    oracle = sub.add_parser(
+        "oracle",
+        help="differential conformance suite against the reference "
+             "model (see docs/testing.md)")
+    oracle.add_argument("--scheme", action="append",
+                        choices=sorted(SCHEMES), default=None,
+                        help="scheme to check (repeatable)")
+    oracle.add_argument("--all-schemes", action="store_true",
+                        help="check every scheme (same as omitting "
+                             "--scheme; spelled out for scripts)")
+    oracle.add_argument("--workload", action="append",
+                        choices=sorted(ALL_PROFILES), default=None,
+                        help="workload trace (repeatable; "
+                             "default pers_hash)")
+    oracle.add_argument("--seed", type=int, default=2024)
+    oracle.add_argument("--accesses", type=int, default=400,
+                        help="trace length per case")
+    oracle.add_argument("--footprint", type=int, default=2048,
+                        help="trace footprint in data blocks")
+    oracle.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (0 = one per CPU core)")
+    oracle.add_argument("--cache-dir", default=None,
+                        help="reuse completed cases from this result "
+                             "cache (off by default)")
+    oracle.add_argument("--json", action="store_true",
+                        help="emit the full tally as JSON")
 
     trc = sub.add_parser(
         "trace",
@@ -332,6 +360,28 @@ def cmd_faults(args) -> int:
     return 1 if report["outcomes"].get("diverged") else 0
 
 
+def cmd_oracle(args) -> int:
+    # the oracle imports the simulator stack; keep it off the path of
+    # the other subcommands
+    from repro.oracle.sweep import run_oracle_suite
+
+    schemes = args.scheme if (args.scheme and not args.all_schemes) \
+        else None
+    tally = run_oracle_suite(
+        schemes=schemes, workloads=args.workload,
+        accesses=args.accesses, footprint=args.footprint,
+        seed=args.seed, jobs=args.jobs or (os.cpu_count() or 1),
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None)
+    if args.json:
+        import json
+
+        print(json.dumps(tally.to_json(), indent=2, sort_keys=True))
+    else:
+        for line in tally.summary_lines():
+            print(line)
+    return 0 if tally.ok else 1
+
+
 def cmd_trace(args) -> int:
     """One traced cell -> Chrome-trace JSON + metric dumps on disk."""
     from repro import obs
@@ -408,6 +458,7 @@ def main(argv: list[str] | None = None) -> int:
         "workloads": cmd_workloads,
         "sweep": cmd_sweep,
         "faults": cmd_faults,
+        "oracle": cmd_oracle,
         "trace": cmd_trace,
         "lint": cmd_lint,
     }[args.command]

@@ -250,9 +250,21 @@ class SteinsController(SecureMemoryController):
                     return
                 fire("steins.drain")
                 drained += 1
+                # Fold every queued update of this child into one apply.
+                # Applying only the oldest would transfer part of the
+                # child's growth against the *cached* parent slot while a
+                # newer entry stays queued — after a crash, recovery
+                # replays that entry against the *persisted* slot and
+                # double-counts the already-transferred part (a spurious
+                # L_kInc replay alarm).  The child's NVM copy is sealed
+                # under its newest counter, so the fold also matches what
+                # verification expects.
+                latest = self.nv_buffer.latest_counter_for(
+                    update.child_level, update.child_index)
                 self._apply_parent_update(
                     update.child_level, update.child_index,
-                    update.generated_counter, allow_buffer=False)
+                    max(update.generated_counter, latest or 0),
+                    allow_buffer=False)
                 # the apply itself removes superseded entries (possibly
                 # including this one); pop only if it is still queued
                 if self.nv_buffer.peek_first() is update:
@@ -279,6 +291,16 @@ class SteinsController(SecureMemoryController):
         if in_progress is not None or pending is not None:
             return max(v for v in (in_progress, pending) if v is not None)
         return super()._parent_counter(level, index)
+
+    def _oracle_extra_state(self) -> dict[str, object]:
+        # the per-level increment trust bases and any parked parent
+        # updates — both non-volatile, both consulted by recovery
+        return {
+            "lincs": tuple(self.lincs.values()),
+            "nv_buffer": tuple(
+                (u.child_level, u.child_index, u.generated_counter)
+                for u in self.nv_buffer.entries),
+        }
 
     # -------------------------------------------------------- lifecycle
     def flush_all(self) -> None:

@@ -58,6 +58,14 @@ def execute_cell(spec: CellSpec) -> dict[str, Any]:
                             **(spec.fault or {}))
         result = run_case(case, cfg, _trace_for(spec))
         return {"result": result.to_json()}
+    if spec.kind == "oracle":
+        from repro.oracle.sweep import run_oracle_cell
+
+        if cfg is None:
+            raise ConfigError("oracle cells need an explicit config")
+        result = run_oracle_cell(spec.variant, spec.workload,
+                                 spec.fault or {}, cfg, _trace_for(spec))
+        return {"result": result.to_json()}
     raise ConfigError(f"unknown cell kind {spec.kind!r}")
 
 
@@ -73,6 +81,10 @@ def decode_payload(spec: CellSpec, payload: dict[str, Any]) -> Any:
         from repro.faults.campaign import CaseResult
 
         return CaseResult.from_json(payload["result"])
+    if spec.kind == "oracle":
+        from repro.oracle.harness import OracleCaseResult
+
+        return OracleCaseResult.from_json(payload["result"])
     raise ConfigError(f"unknown cell kind {spec.kind!r}")
 
 

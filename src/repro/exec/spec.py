@@ -36,7 +36,7 @@ from repro.common.errors import ConfigError
 CACHE_SCHEMA = 1
 
 #: the cell kinds the executor knows how to run
-KINDS = ("sim", "probe", "fault")
+KINDS = ("sim", "probe", "fault", "oracle")
 
 
 @dataclass(frozen=True)
@@ -45,16 +45,18 @@ class CellSpec:
 
     ``kind`` selects the worker routine:
 
-    * ``"sim"``   — one (variant, workload) figure cell -> ``RunResult``
-    * ``"probe"`` — count-only fault-fire span -> ``int``
-    * ``"fault"`` — one campaign crash case -> ``CaseResult``
+    * ``"sim"``    — one (variant, workload) figure cell -> ``RunResult``
+    * ``"probe"``  — count-only fault-fire span -> ``int``
+    * ``"fault"``  — one campaign crash case -> ``CaseResult``
+    * ``"oracle"`` — one differential-oracle case -> ``OracleCaseResult``
 
     ``variant`` is a paper variant name for ``"sim"`` cells and a bare
-    scheme name for ``"probe"``/``"fault"`` cells.  ``config`` is the
-    full system configuration as produced by
+    scheme name for ``"probe"``/``"fault"``/``"oracle"`` cells.
+    ``config`` is the full system configuration as produced by
     :func:`repro.exec.configio.config_to_dict` (``None`` means the
     default Table I configuration).  ``fault`` holds the crash-plan
-    fields of a campaign case.
+    fields of a campaign case, or the case plan (mode, crash point,
+    attack/mutant name) of an oracle cell.
     """
 
     kind: str
@@ -71,9 +73,9 @@ class CellSpec:
         if self.kind not in KINDS:
             raise ConfigError(
                 f"unknown cell kind {self.kind!r}; pick one of {KINDS}")
-        if self.kind == "fault" and self.fault is None:
-            raise ConfigError("fault cells need a crash plan")
-        if self.kind != "fault" and self.fault is not None:
+        if self.kind in ("fault", "oracle") and self.fault is None:
+            raise ConfigError(f"{self.kind} cells need a case plan")
+        if self.kind not in ("fault", "oracle") and self.fault is not None:
             raise ConfigError(f"{self.kind} cells cannot carry a crash plan")
         if self.accesses <= 0 or self.footprint_blocks <= 0:
             raise ConfigError("accesses and footprint must be positive")

@@ -1,0 +1,102 @@
+"""The executable reference model of secure-NVM semantics.
+
+Every scheme in this repo — whatever it does with trees, caches,
+buffers, and trackers — must present the same *semantics* at the secure
+controller boundary:
+
+* **Data integrity** — ``read_data(a)`` returns exactly the value of the
+  last accepted ``write_data(a, v)`` (zero if never written).
+* **Counter monotonicity** — every accepted write advances the
+  encryption counter stored with the block, so no one-time pad is ever
+  reused (Sec. II-B: the confidentiality argument).
+* **Durability / freshness** — a crash loses nothing accepted at this
+  boundary under a healthy ADR, and recovery must reproduce the exact
+  logical contents; any tampering or replay between crash and recovery
+  must surface as a detection error, never as silently wrong data.
+
+This module is the *oracle* side of the differential harness
+(:mod:`repro.oracle.harness`): a small, pure, obviously-correct model of
+those semantics.  It deliberately knows nothing about timing, caching,
+integrity trees, or recovery protocols — it is a dict of logical block
+contents plus per-block write counts, and that is the point: a shared
+misconception baked into the simulator stack cannot also live here.
+
+The model imports nothing from the simulator (stdlib only), so its
+correctness is auditable by reading this one file.
+"""
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+
+class OracleViolation(Exception):
+    """The observed behaviour contradicts the reference semantics."""
+
+
+@dataclass
+class ReferenceModel:
+    """Logical secure-memory contents at the controller boundary.
+
+    ``blocks`` maps block address -> last accepted plaintext;
+    ``write_counts`` maps block address -> number of accepted writes;
+    ``counters`` maps block address -> the last encryption counter the
+    harness *observed* in the persisted data line (fed in via
+    :meth:`observe_counter`, enforcing strict growth).
+    """
+
+    blocks: dict[int, int] = field(default_factory=dict)
+    write_counts: dict[int, int] = field(default_factory=dict)
+    counters: dict[int, int] = field(default_factory=dict)
+    crashes: int = 0
+
+    # ------------------------------------------------------- operations
+    def write(self, addr: int, value: int) -> None:
+        """A write was accepted by the controller: it is now the truth."""
+        self.blocks[addr] = value
+        self.write_counts[addr] = self.write_counts.get(addr, 0) + 1
+
+    def read(self, addr: int) -> int:
+        """The value a correct controller must return for ``addr``."""
+        return self.blocks.get(addr, 0)
+
+    def observe_counter(self, addr: int, counter: int) -> None:
+        """An encryption counter was seen in the persisted line of
+        ``addr``; it must strictly exceed every earlier observation
+        (counter reuse = one-time-pad reuse)."""
+        last = self.counters.get(addr)
+        if last is not None and counter <= last:
+            raise OracleViolation(
+                f"encryption counter for block {addr} did not advance "
+                f"({last} -> {counter}): one-time-pad reuse")
+        self.counters[addr] = counter
+
+    def crash(self) -> None:
+        """Power failure.  Every write accepted at this boundary is
+        durable under a healthy ADR, so logical contents are unchanged;
+        only the crash count (freshness epoch) advances."""
+        self.crashes += 1
+
+    # --------------------------------------------------------- digests
+    def digest(self) -> str:
+        """Canonical digest of the logical end state.
+
+        Two runs agree semantically iff their digests agree: same block
+        contents and same per-block accepted-write counts.
+        """
+        blob = json.dumps(
+            {
+                "blocks": [[a, v] for a, v in sorted(self.blocks.items())],
+                "writes": [[a, n] for a, n in
+                           sorted(self.write_counts.items())],
+            },
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def snapshot(self) -> "ReferenceModel":
+        """An independent copy (golden state for crash comparisons)."""
+        return ReferenceModel(blocks=dict(self.blocks),
+                              write_counts=dict(self.write_counts),
+                              counters=dict(self.counters),
+                              crashes=self.crashes)

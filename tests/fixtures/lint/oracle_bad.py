@@ -1,0 +1,10 @@
+"""Fixture: oracle-conformance violations (SL701)."""
+
+
+class ShinyNewController(SecureMemoryController):   # SL701: no hook
+    def write_data(self, addr, value):
+        pass
+
+
+class VariantController(baselines.SteinsController):  # SL701: no hook
+    pass

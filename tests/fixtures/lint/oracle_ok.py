@@ -1,0 +1,24 @@
+"""Fixture: oracle-conformance hygiene respected — no diagnostics.
+
+Controller subclasses override the snapshot hook (even if only to
+declare there is no extra state); non-controller classes and test
+doubles are out of scope.
+"""
+
+
+class GoodController(SecureMemoryController):
+    def _oracle_extra_state(self):
+        return {"nv_register": self.nv_register.value}
+
+
+class MinimalController(SecureMemoryController):
+    def _oracle_extra_state(self):
+        return {}
+
+
+class WriteScheduler:
+    """Not a controller subclass; no hook required."""
+
+
+class TestBrokenController:
+    """Test helpers named Test* are exempt."""

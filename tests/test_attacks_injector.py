@@ -1,0 +1,114 @@
+"""Unit tests of the attack injector's own machinery.
+
+tests/test_attacks.py proves each attack class is *detected* end to end;
+these tests pin down the injector primitives themselves — recording and
+replay round-trips, the split-counter tamper branch, record forging in
+both fallback branches, and every refusal path — so a broken injector
+cannot silently weaken the security suite.
+"""
+import pytest
+
+from repro.attacks import AttackInjector
+from repro.common.config import CounterMode
+from repro.common.constants import OFFSET_EMPTY
+from repro.common.errors import ConfigError, TamperDetectedError
+from repro.core.controller import SteinsController
+from repro.nvm.layout import Region
+from tests.test_controller_base import make_rig
+from tests.test_steins_controller import steins_rig
+
+
+def test_record_then_replay_restores_exact_line():
+    controller, device, _ = steins_rig()
+    injector = AttackInjector(device)
+    controller.write_data(5, 111)
+    old_line = device.peek(Region.DATA, 5)
+    injector.record(Region.DATA, 5)
+    controller.write_data(5, 222)
+    assert device.peek(Region.DATA, 5) != old_line
+    record = injector.replay(Region.DATA, 5)
+    assert device.peek(Region.DATA, 5) == old_line
+    assert (record.kind, record.region, record.index) == ("replay",
+                                                          "data", 5)
+
+
+def test_record_populated_counts_and_replays_everything():
+    controller, device, _ = steins_rig()
+    for addr in range(6):
+        controller.write_data(addr, addr + 1)
+    injector = AttackInjector(device)
+    populated = dict(device.populated(Region.DATA))
+    assert injector.record_populated(Region.DATA) == len(populated)
+    for addr in range(6):
+        controller.write_data(addr, addr + 100)
+    assert injector.replay_all_recorded() == len(populated)
+    for index, line in populated.items():
+        assert device.peek(Region.DATA, index) == line
+
+
+def test_tamper_split_counter_tree_node_detected():
+    """The split-counter branch of tamper_tree_counter (major bump)."""
+    controller, device, _ = make_rig(CounterMode.SPLIT, SteinsController,
+                                     metadata_cache_bytes=1024)
+    controller.write_data(0, 9)
+    controller.flush_all()
+    injector = AttackInjector(device)
+    offset = controller.geometry.node_offset(0, 0)
+    record = injector.tamper_tree_counter(offset)
+    assert record.kind == "tamper"
+    controller.metacache.clear()
+    with pytest.raises(TamperDetectedError):
+        controller._ensure_node(0, 0)
+
+
+def test_tamper_data_mac_flips_only_the_mac():
+    controller, device, _ = steins_rig()
+    controller.write_data(3, 77)
+    tag, cipher, hmac, echo = device.peek(Region.DATA, 3)
+    AttackInjector(device).tamper_data_mac(3)
+    assert device.peek(Region.DATA, 3) == (tag, cipher, hmac ^ 1, echo)
+
+
+def test_forge_offset_record_fabricates_a_line_when_records_empty():
+    """The fresh-line branch: no populated record line exists yet."""
+    controller, device, _ = steins_rig()
+    offset = controller.geometry.node_offset(0, 2)
+    record = AttackInjector(device).forge_offset_record(offset)
+    assert record.kind == "record-forge"
+    offsets, _ = controller.tracker.read_all_offsets(device)
+    assert offset in offsets
+
+
+def test_forge_offset_record_uses_a_free_slot_first():
+    controller, device, _ = steins_rig()
+    line = [OFFSET_EMPTY] * 16
+    line[0] = controller.geometry.node_offset(0, 0)
+    device.poke(Region.RECORDS, 0, tuple(line))
+    target = controller.geometry.node_offset(0, 1)
+    AttackInjector(device).forge_offset_record(target)
+    stored = device.peek(Region.RECORDS, 0)
+    assert target in stored
+
+
+def test_forge_offset_record_refuses_when_records_are_full():
+    controller, device, _ = steins_rig()
+    full = tuple(range(100, 116))   # sixteen non-empty offsets
+    for line_idx in range(device.layout.record_lines):
+        device.poke(Region.RECORDS, line_idx, full)
+    with pytest.raises(ConfigError):
+        AttackInjector(device).forge_offset_record(7)
+
+
+def test_pick_populated_requires_a_nonempty_region():
+    _, device, _ = steins_rig()
+    with pytest.raises(ConfigError):
+        AttackInjector(device).pick_populated(Region.DATA)
+
+
+def test_tamper_missing_lines_rejected():
+    _, device, _ = steins_rig()
+    injector = AttackInjector(device)
+    with pytest.raises(ConfigError):
+        injector.tamper_data_mac(0)
+    with pytest.raises(ConfigError):
+        injector.tamper_tree_counter(0)

@@ -47,6 +47,25 @@ def test_figure_17(capsys):
     assert "Fig. 17" in out and "4MB" in out
 
 
+@pytest.mark.slow
+def test_oracle_single_scheme(capsys):
+    assert main(["oracle", "--scheme", "steins", "--accesses", "250",
+                 "--seed", "2024"]) == 0
+    out = capsys.readouterr().out
+    assert "oracle suite:" in out
+    assert "all cases conform" in out
+
+
+@pytest.mark.slow
+def test_oracle_json_output(capsys):
+    import json
+    assert main(["oracle", "--scheme", "wb", "--accesses", "250",
+                 "--json"]) == 0
+    tally = json.loads(capsys.readouterr().out)
+    assert tally["ok"] is True
+    assert tally["schemes"] == ["wb"]
+
+
 def test_parser_rejects_bad_variant():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "nope", "pers_hash"])

@@ -40,6 +40,7 @@ def test_scheme_comparison_small(capsys):
     assert "steins-sc" in out
 
 
+@pytest.mark.slow
 def test_multi_controller(capsys):
     run_example("multi_controller.py")
     out = capsys.readouterr().out

@@ -184,6 +184,7 @@ class TestRunWithCrashEdges:
 
 
 # ---------------------------------------------------------------- campaign
+@pytest.mark.slow
 class TestCampaign:
     def test_smoke_is_deterministic_and_clean(self):
         kwargs = dict(schemes=["steins", "wb"], workloads=["pers_hash"],
@@ -215,6 +216,7 @@ def drive_writes(system: SecureNVMSystem, n: int = 180) -> None:
             system.load(addr)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("scheme", RECOVERABLE)
 def test_crash_inside_every_recovery_step(scheme):
     """Crash recover() at its k-th step for every reachable k; the

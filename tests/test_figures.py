@@ -22,6 +22,7 @@ def harness():
                          workloads=("pers_hash", "lbm_r"))
 
 
+@pytest.mark.slow
 def test_fig13_asit_doubles_write_traffic(harness):
     rows = harness.fig13_write_traffic()
     for workload, row in rows.items():
@@ -29,6 +30,7 @@ def test_fig13_asit_doubles_write_traffic(harness):
         assert row["wb-gc"] == 1.0
 
 
+@pytest.mark.slow
 def test_fig13_ordering(harness):
     rows = harness.fig13_write_traffic()
     for workload, row in rows.items():
@@ -36,6 +38,7 @@ def test_fig13_ordering(harness):
         assert row["star"] < row["asit"] + 0.05
 
 
+@pytest.mark.slow
 def test_fig9_steins_close_to_wb(harness):
     rows = harness.fig9_execution_time()
     ratios = [row["steins-gc"] for row in rows.values()]
@@ -44,12 +47,14 @@ def test_fig9_steins_close_to_wb(harness):
         assert row["steins-gc"] < row["asit"]
 
 
+@pytest.mark.slow
 def test_fig10_write_latency_ordering(harness):
     rows = harness.fig10_write_latency()
     for row in rows.values():
         assert row["steins-gc"] < row["asit"]
 
 
+@pytest.mark.slow
 def test_fig12_sc_beats_gc(harness):
     rows = harness.fig12_execution_time_sc()
     for workload, row in rows.items():
@@ -59,6 +64,7 @@ def test_fig12_sc_beats_gc(harness):
         assert row["steins-sc"] < row["steins-gc"]
 
 
+@pytest.mark.slow
 def test_fig15_energy_ordering(harness):
     rows = harness.fig15_energy()
     for row in rows.values():
@@ -74,6 +80,7 @@ def test_fig17_static_model():
     assert at4["steins-sc"] == pytest.approx(0.44, rel=0.2)
 
 
+@pytest.mark.slow
 def test_cells_are_cached(harness):
     a = harness.cell("wb-gc", "pers_hash")
     b = harness.cell("wb-gc", "pers_hash")

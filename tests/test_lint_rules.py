@@ -164,6 +164,19 @@ class TestObservabilityRule:
         assert run_lint([str(grandfathered)]).diagnostics == []
 
 
+class TestOracleRule:
+    def test_flags_controllers_missing_the_snapshot_hook(self):
+        result = lint("oracle_bad.py")
+        assert hits(result) == [
+            ("SL701", 4),   # plain-name base, no hook
+            ("SL701", 9),   # attribute base, no hook
+        ]
+        assert result.exit_code() == 1
+
+    def test_hooked_controllers_and_bystanders_are_silent(self):
+        assert lint("oracle_ok.py").diagnostics == []
+
+
 class TestSuppressions:
     def test_reasoned_directives_silence_by_id_and_name(self):
         assert lint("suppress_reasoned.py").diagnostics == []

@@ -1,0 +1,67 @@
+"""Unit tests of the pure reference model (repro.oracle.model).
+
+The model is the trusted side of the differential harness, so its own
+semantics are pinned exhaustively here — if these are wrong, every
+conformance verdict is.
+"""
+import pytest
+
+from repro.oracle.model import OracleViolation, ReferenceModel
+
+
+def test_read_defaults_to_zero():
+    assert ReferenceModel().read(123) == 0
+
+
+def test_last_accepted_write_wins():
+    model = ReferenceModel()
+    model.write(5, 111)
+    model.write(5, 222)
+    model.write(9, 333)
+    assert model.read(5) == 222
+    assert model.read(9) == 333
+    assert model.write_counts == {5: 2, 9: 1}
+
+
+def test_counter_observations_must_strictly_increase():
+    model = ReferenceModel()
+    model.observe_counter(4, 1)
+    model.observe_counter(4, 2)
+    model.observe_counter(7, 1)      # other addresses are independent
+    with pytest.raises(OracleViolation):
+        model.observe_counter(4, 2)  # repeat = OTP reuse
+    with pytest.raises(OracleViolation):
+        model.observe_counter(4, 1)  # regression
+
+
+def test_crash_preserves_contents_and_counts_epochs():
+    model = ReferenceModel()
+    model.write(1, 10)
+    digest = model.digest()
+    model.crash()
+    assert model.read(1) == 10
+    assert model.crashes == 1
+    assert model.digest() == digest   # crash is not a semantic event
+
+
+def test_digest_tracks_contents_and_write_counts():
+    a, b = ReferenceModel(), ReferenceModel()
+    a.write(1, 10)
+    b.write(1, 10)
+    assert a.digest() == b.digest()
+    # same final contents, different accepted-write history: distinct
+    b.write(1, 99)
+    b.write(1, 10)
+    assert a.digest() != b.digest()
+
+
+def test_snapshot_is_independent():
+    model = ReferenceModel()
+    model.write(1, 10)
+    model.observe_counter(1, 3)
+    snap = model.snapshot()
+    model.write(1, 20)
+    model.observe_counter(1, 4)
+    assert snap.read(1) == 10
+    assert snap.counters == {1: 3}
+    assert model.read(1) == 20

@@ -12,6 +12,7 @@ from repro.analysis.consistency import check_verification_closure
 from repro.baselines.asit import ASITController
 from repro.baselines.star import STARController
 from repro.common.config import CounterMode
+from tests.conftest import scaled
 from tests.test_controller_base import make_rig
 
 ops = st.lists(
@@ -24,7 +25,7 @@ ops = st.lists(
     min_size=1, max_size=60)
 
 
-@settings(max_examples=15, deadline=None,
+@settings(max_examples=scaled(15), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(ops, st.sampled_from([ASITController, STARController]))
 def test_random_ops_preserve_data_and_closure(sequence, cls):
@@ -45,7 +46,7 @@ def test_random_ops_preserve_data_and_closure(sequence, cls):
         assert controller.read_data(addr) == value
 
 
-@settings(max_examples=10, deadline=None,
+@settings(max_examples=scaled(10), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(st.integers(0, 3000), min_size=10, max_size=100),
        st.integers(1, 8),

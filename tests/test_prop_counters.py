@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 
 from repro.common import constants as C
 from repro.counters import GeneralCounterBlock, OverflowPolicy, SplitCounterBlock
+from tests.conftest import scaled
 
 slots_general = st.lists(st.integers(0, 7), min_size=1, max_size=200)
 slots_split = st.lists(st.integers(0, 63), min_size=1, max_size=400)
@@ -34,7 +35,7 @@ def test_general_gensum_counts_writes(writes):
     assert block.gensum() == len(writes)
 
 
-@settings(max_examples=60)
+@settings(max_examples=scaled(60))
 @given(slots_split)
 def test_split_skip_gensum_strictly_monotone(writes):
     """The paper's central monotonicity claim for Eq. (2)."""
@@ -50,7 +51,7 @@ def test_split_skip_gensum_strictly_monotone(writes):
         prev = block.gensum()
 
 
-@settings(max_examples=60)
+@settings(max_examples=scaled(60))
 @given(slots_split)
 def test_split_encryption_counters_never_repeat(writes):
     """CME safety: the (major, minor) pair used to encrypt a block never
@@ -64,7 +65,7 @@ def test_split_encryption_counters_never_repeat(writes):
         seen[slot].add(counter)
 
 
-@settings(max_examples=60)
+@settings(max_examples=scaled(60))
 @given(slots_split)
 def test_split_skip_at_most_doubles_counter_use(writes):
     """Sec. III-B.2: the skip update consumes at most 2x the counter
@@ -84,7 +85,7 @@ def test_general_pack_roundtrip(writes):
     assert GeneralCounterBlock.from_snapshot(block.snapshot()) == block
 
 
-@settings(max_examples=40)
+@settings(max_examples=scaled(40))
 @given(st.integers(0, (1 << 64) - 1),
        st.lists(st.integers(0, 63), min_size=64, max_size=64))
 def test_split_pack_roundtrip(major, minors):
@@ -93,7 +94,7 @@ def test_split_pack_roundtrip(major, minors):
     assert SplitCounterBlock.from_snapshot(block.snapshot()) == block
 
 
-@settings(max_examples=40)
+@settings(max_examples=scaled(40))
 @given(slots_split)
 def test_plain_vs_skip_major_never_smaller(writes):
     """The skip-updated major always dominates the plain one, so skip

@@ -16,6 +16,7 @@ from repro.nvm.energy import EnergyMeter
 from repro.nvm.layout import build_layout
 from repro.sim.clock import MemClock
 from repro.core.tracking import OffsetRecordTracker
+from tests.conftest import scaled
 
 cache_ops = st.lists(
     st.one_of(
@@ -27,7 +28,7 @@ cache_ops = st.lists(
     min_size=1, max_size=120)
 
 
-@settings(max_examples=60)
+@settings(max_examples=scaled(60))
 @given(cache_ops)
 def test_metacache_against_model(ops):
     cache = MetadataCache(CacheConfig(8 * 64, 2))   # 4 sets x 2 ways
@@ -85,7 +86,7 @@ record_ops = st.lists(
     min_size=1, max_size=150)
 
 
-@settings(max_examples=40)
+@settings(max_examples=scaled(40))
 @given(record_ops)
 def test_tracker_against_model(ops):
     """After any record sequence + crash flush, the persisted records

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.common.config import CounterMode
 from repro.core.controller import SteinsController
+from tests.conftest import scaled
 from tests.test_controller_base import make_rig
 from tests.test_steins_controller import assert_linc_invariant
 
@@ -22,7 +23,7 @@ ops = st.lists(
     min_size=1, max_size=80)
 
 
-@settings(max_examples=25, deadline=None,
+@settings(max_examples=scaled(25), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(ops, st.sampled_from([CounterMode.GENERAL, CounterMode.SPLIT]))
 def test_random_ops_preserve_all_invariants(sequence, mode):
@@ -44,7 +45,7 @@ def test_random_ops_preserve_all_invariants(sequence, mode):
         assert controller.read_data(addr) == value
 
 
-@settings(max_examples=15, deadline=None,
+@settings(max_examples=scaled(15), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(st.integers(0, 4000), min_size=10, max_size=150),
        st.integers(0, 9))
@@ -64,7 +65,7 @@ def test_crash_anywhere_recovers(addrs, crash_mod):
     assert_linc_invariant(controller)
 
 
-@settings(max_examples=15, deadline=None,
+@settings(max_examples=scaled(15), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(st.integers(0, 800), min_size=5, max_size=100))
 def test_flush_all_then_cold_restart_equivalent(addrs):
@@ -107,7 +108,7 @@ def test_flush_all_survives_nested_redirty_regression():
         assert a.read_data(addr) == b.read_data(addr)
 
 
-@settings(max_examples=10, deadline=None,
+@settings(max_examples=scaled(10), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(st.integers(0, 1200), min_size=5, max_size=60))
 def test_repeated_recovery_converges_to_a_fixed_point(addrs):

@@ -6,9 +6,10 @@ from repro.common.bitfield import pack_fields, unpack_fields
 from repro.common.config import CacheConfig
 from repro.integrity.geometry import TreeGeometry
 from repro.mem.cache import SetAssocCache
+from tests.conftest import scaled
 
 
-@settings(max_examples=60)
+@settings(max_examples=scaled(60))
 @given(st.lists(st.tuples(st.integers(0, 200), st.booleans()),
                 min_size=1, max_size=300))
 def test_cache_capacity_and_residency(ops):
@@ -21,7 +22,7 @@ def test_cache_capacity_and_residency(ops):
         assert cache.contains(key)   # just-accessed key is resident
 
 
-@settings(max_examples=60)
+@settings(max_examples=scaled(60))
 @given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
 def test_cache_dirty_only_from_writes(keys):
     cache = SetAssocCache(CacheConfig(16 * 64, 4))
@@ -30,7 +31,7 @@ def test_cache_dirty_only_from_writes(keys):
     assert list(cache.dirty_keys()) == []
 
 
-@settings(max_examples=40)
+@settings(max_examples=scaled(40))
 @given(st.integers(65, 1 << 20), st.sampled_from([8, 64]))
 def test_geometry_offsets_bijective(num_blocks, coverage):
     g = TreeGeometry(num_data_blocks=num_blocks, leaf_coverage=coverage)
@@ -42,7 +43,7 @@ def test_geometry_offsets_bijective(num_blocks, coverage):
             assert g.offset_to_node(off) == (level, index)
 
 
-@settings(max_examples=40)
+@settings(max_examples=scaled(40))
 @given(st.integers(65, 1 << 20), st.sampled_from([8, 64]),
        st.integers(0, 1 << 20))
 def test_geometry_branch_consistency(num_blocks, coverage, raw_addr):
@@ -57,7 +58,7 @@ def test_geometry_branch_consistency(num_blocks, coverage, raw_addr):
         assert g.children(*parent)[slot] == child
 
 
-@settings(max_examples=60)
+@settings(max_examples=scaled(60))
 @given(st.lists(st.integers(1, 64), min_size=1, max_size=10).flatmap(
     lambda widths: st.tuples(
         st.just(widths),
