@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast coverage lint simlint ruff mypy faults-smoke \
-	sweep-smoke trace-smoke oracle-smoke all
+	sweep-smoke trace-smoke oracle-smoke explore-smoke all
 
 all: lint test
 
@@ -46,6 +46,22 @@ sweep-smoke:
 	grep -q "0 simulated" .sweep-smoke/warm.err
 	cmp .sweep-smoke/cold.txt .sweep-smoke/warm.txt
 	rm -rf .sweep-smoke
+
+# full crash-space enumeration of a tiny trace (all four recovery
+# schemes, torn variants, recovery/double crashes, mutant self-test):
+# the bench does a cold+warm pass (warm must re-simulate nothing,
+# reports must match) and writes BENCH_explore.json; the CLI reruns
+# against the same cache must print byte-identical reports
+EXPLORE_SMOKE = $(PYTHON) -m repro explore --small \
+	--cache-dir .explore-smoke/cache
+explore-smoke:
+	rm -rf .explore-smoke && mkdir -p .explore-smoke
+	$(PYTHON) tools/explore_bench.py BENCH_explore.json .explore-smoke/cache
+	$(EXPLORE_SMOKE) --jobs 2 > .explore-smoke/cold.txt
+	$(EXPLORE_SMOKE) --jobs 1 > .explore-smoke/warm.txt 2> .explore-smoke/warm.err
+	grep -q "0 cells simulated" .explore-smoke/warm.err
+	cmp .explore-smoke/cold.txt .explore-smoke/warm.txt
+	rm -rf .explore-smoke
 
 # differential conformance suite: every scheme against the reference
 # model — clean runs, a crash at every injection point the scheme

@@ -11,12 +11,14 @@ Rule id allocation:
 * SL501-SL599  orchestration hygiene
 * SL601-SL699  observability hygiene
 * SL701-SL799  differential-oracle conformance hygiene
+* SL801-SL899  crash-space exploration hygiene
 * SL999        parse errors (engine-emitted)
 """
 from repro.analysis.lint.rules import (  # noqa: F401  -- registration
     determinism,
     errors,
     exactness,
+    explore,
     faults,
     obs,
     oracle,

@@ -515,6 +515,16 @@ class SecureMemoryController:
             for offset, node in dirty:
                 if not self.metacache.is_dirty(offset):
                     continue  # an eviction or deeper flush already did it
+                # Flush the *live* cache entry, not the snapshotted
+                # object: a nested drain earlier in this pass can evict
+                # the node and re-fetch it as a fresh object carrying a
+                # freshly applied child counter — persisting the stale
+                # snapshot would overwrite that update in NVM while the
+                # mark_clean below erases the only dirty bit pointing at
+                # it (cold restart then fails HMAC verification).
+                live = self.metacache.peek(offset)
+                if live is not None:
+                    node = live
                 fire("controller.flush")
                 # Clean *before* flushing: the flush's parent-update
                 # phase can re-enter this node (a nested drain applying

@@ -12,6 +12,7 @@ Commands
 ``sweep``     parallel figure-matrix sweep with a result cache (docs/orchestration.md)
 ``faults``    deterministic fault-injection campaign (see docs/fault_injection.md)
 ``oracle``    differential conformance suite vs the reference model (docs/testing.md)
+``explore``   systematic crash-space exploration with state-digest pruning (docs/crash_exploration.md)
 ``trace``     run one cell with tracing armed; write Chrome-trace + metric dumps (docs/observability.md)
 ``lint``      run simlint over the tree (see ``repro.analysis.lint``)
 """
@@ -163,6 +164,54 @@ def build_parser() -> argparse.ArgumentParser:
                              "cache (off by default)")
     oracle.add_argument("--json", action="store_true",
                         help="emit the full tally as JSON")
+
+    explore = sub.add_parser(
+        "explore",
+        help="systematic crash-space exploration with state-digest "
+             "pruning (see docs/crash_exploration.md)")
+    explore.add_argument("--scheme", action="append",
+                         choices=sorted(SCHEMES), default=None,
+                         help="scheme to explore (repeatable; default: "
+                              "every recovery-capable scheme)")
+    explore.add_argument("--workload", action="append",
+                         choices=sorted(ALL_PROFILES), default=None,
+                         help="workload trace (repeatable; "
+                              "default pers_hash)")
+    explore.add_argument("--seed", type=int, default=2025)
+    explore.add_argument("--accesses", type=int, default=120,
+                         help="trace length per cell")
+    explore.add_argument("--footprint", type=int, default=512,
+                         help="trace footprint in data blocks")
+    explore.add_argument("--small", action="store_true",
+                         help="tiny-trace preset (60 accesses, 256 "
+                              "blocks) with full enumeration: every "
+                              "equivalence class, every recovery step")
+    explore.add_argument("--budget", type=int, default=None,
+                         help="frontier budget: explore at most this "
+                              "many equivalence classes per cell "
+                              "(default: all of them)")
+    explore.add_argument("--recovery-cap", type=int, default=None,
+                         help="crash-during-recovery doses per "
+                              "representative (default: every step)")
+    explore.add_argument("--residual", action="append", type=int,
+                         default=None,
+                         help="torn-crash ADR word budget (repeatable; "
+                              "default 0 and 8)")
+    explore.add_argument("--no-mutants", action="store_true",
+                         help="skip the seeded-mutant self-test")
+    explore.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (0 = one per CPU core)")
+    explore.add_argument("--cache-dir", default=None,
+                         help="reuse completed cells from this result "
+                              "cache (off by default)")
+    explore.add_argument("--progress", action="store_true",
+                         help="per-cell progress lines on stderr")
+    explore.add_argument("--json", action="store_true",
+                         help="emit the full report as JSON on stdout")
+    explore.add_argument("--report", default=None,
+                         help="also write the JSON report to this file")
+    explore.add_argument("--metrics", default=None,
+                         help="write repro.obs metrics JSON to this file")
 
     trc = sub.add_parser(
         "trace",
@@ -382,6 +431,53 @@ def cmd_oracle(args) -> int:
     return 0 if tally.ok else 1
 
 
+def cmd_explore(args) -> int:
+    # the explorer imports the simulator stack; keep it off the path of
+    # the other subcommands
+    from repro.explore import run_explore
+
+    accesses, footprint = args.accesses, args.footprint
+    budget, recovery_cap = args.budget, args.recovery_cap
+    if args.small:
+        accesses, footprint = 60, 256
+        budget = recovery_cap = None
+    registry = None
+    if args.metrics:
+        from repro import obs
+
+        registry = obs.MetricRegistry()
+    summary = run_explore(
+        schemes=args.scheme, workloads=args.workload,
+        accesses=accesses, footprint=footprint, seed=args.seed,
+        residuals=tuple(args.residual) if args.residual else (0, 8),
+        class_budget=budget, recovery_cap=recovery_cap,
+        with_mutants=not args.no_mutants,
+        jobs=args.jobs or (os.cpu_count() or 1),
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        progress=_sweep_progress if args.progress else None,
+        metrics=registry)
+    import json
+
+    # the report body is cache- and parallelism-independent: serial and
+    # --jobs N runs (cold or warm) print byte-identical documents
+    report = json.dumps(summary.to_json(), indent=2, sort_keys=True)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(report + "\n")
+    if registry is not None:
+        from repro import obs
+
+        obs.write_metrics_json(args.metrics, registry)
+    if args.json:
+        print(report)
+    else:
+        for line in summary.summary_lines():
+            print(line)
+    print(f"explore: {summary.cells_executed} cells simulated, "
+          f"{summary.cells_cached} cached", file=sys.stderr)
+    return 0 if summary.ok else 1
+
+
 def cmd_trace(args) -> int:
     """One traced cell -> Chrome-trace JSON + metric dumps on disk."""
     from repro import obs
@@ -459,6 +555,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": cmd_sweep,
         "faults": cmd_faults,
         "oracle": cmd_oracle,
+        "explore": cmd_explore,
         "trace": cmd_trace,
         "lint": cmd_lint,
     }[args.command]

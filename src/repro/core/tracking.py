@@ -130,6 +130,15 @@ class OffsetRecordTracker:
         self._dirty.clear()
         self._cached.clear()
 
+    def snapshot(self) -> tuple[tuple[int, tuple[int, ...], bool], ...]:
+        """Comparable view of the ADR-resident line cache: ``(line
+        index, entries, dirty)`` sorted by line index.  Crash-space
+        digests need it because the residual-power flush makes these
+        cached lines part of the post-crash record region."""
+        return tuple(sorted(
+            (line_idx, tuple(entries), line_idx in self._dirty)
+            for line_idx, entries in self._cached.items()))
+
     def reset(self) -> None:
         """Post-recovery reinitialization: clear the record region and
         the ADR cache (recovered nodes are re-recorded as they are

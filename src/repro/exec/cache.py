@@ -10,6 +10,14 @@ A corrupted entry — unreadable, unparsable, or an envelope whose ``key``
 does not match its address — is *discarded and recomputed*, never
 trusted: the cache can only ever make a sweep faster, not wrong.
 
+A structurally valid envelope whose ``kind`` is not one the executor
+knows is different from corruption: it means a newer writer (or a
+schema mismatch) shares this cache directory, and silently recomputing
+would mask that misconfiguration.  Those are rejected *loudly* with a
+``ConfigError`` instead.  In practice the ``CACHE_SCHEMA`` component of
+the cell key prevents the collision — a new kind ships with a schema
+bump, so keys computed by old and new code never alias.
+
 Writes are atomic (temp file + ``os.replace``), so a crash mid-``put``
 leaves either the old entry or no entry.  Concurrent writers of the same
 key are benign: cells are deterministic, so both write the same bytes.
@@ -20,6 +28,9 @@ import json
 import os
 import pathlib
 from typing import Any
+
+from repro.common.errors import ConfigError
+from repro.exec.spec import KINDS
 
 
 class ResultCache:
@@ -46,6 +57,13 @@ class ResultCache:
                 or not isinstance(envelope.get("payload"), dict)):
             self._discard(path)
             return None
+        kind = envelope.get("kind")
+        if kind not in KINDS:
+            raise ConfigError(
+                f"cache entry {path} carries unknown cell kind {kind!r} "
+                f"(known: {KINDS}); this cache directory was written by "
+                "an incompatible version — point --cache-dir elsewhere "
+                "or remove the entry")
         return envelope["payload"]
 
     def put(self, key: str, kind: str, payload: dict[str, Any]) -> None:

@@ -66,6 +66,13 @@ def execute_cell(spec: CellSpec) -> dict[str, Any]:
         result = run_oracle_cell(spec.variant, spec.workload,
                                  spec.fault or {}, cfg, _trace_for(spec))
         return {"result": result.to_json()}
+    if spec.kind == "explore":
+        from repro.explore.runner import run_explore_cell
+
+        if cfg is None:
+            raise ConfigError("explore cells need an explicit config")
+        return run_explore_cell(spec.variant, spec.fault or {}, cfg,
+                                _trace_for(spec))
     raise ConfigError(f"unknown cell kind {spec.kind!r}")
 
 
@@ -85,6 +92,12 @@ def decode_payload(spec: CellSpec, payload: dict[str, Any]) -> Any:
         from repro.oracle.harness import OracleCaseResult
 
         return OracleCaseResult.from_json(payload["result"])
+    if spec.kind == "explore":
+        from repro.explore.runner import ExploreCaseResult, ExploreProbe
+
+        if "probe" in payload:
+            return ExploreProbe.from_json(payload["probe"])
+        return ExploreCaseResult.from_json(payload["case"])
     raise ConfigError(f"unknown cell kind {spec.kind!r}")
 
 

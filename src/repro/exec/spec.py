@@ -32,11 +32,18 @@ from typing import Any
 from repro.common.errors import ConfigError
 
 #: bump when result semantics change without a library version bump
-#: (e.g. a metric definition or the trace derivation changes)
-CACHE_SCHEMA = 1
+#: (e.g. a metric definition or the trace derivation changes).
+#: Schema 2: the "explore" cell kind joined and envelope kinds are
+#: validated loudly on read.  The bump only changes keys *computed from
+#: now on* — entries written under schema 1 sit at their old addresses,
+#: never looked up and never invalidated retroactively.
+CACHE_SCHEMA = 2
 
 #: the cell kinds the executor knows how to run
-KINDS = ("sim", "probe", "fault", "oracle")
+KINDS = ("sim", "probe", "fault", "oracle", "explore")
+
+#: kinds whose cells are parameterized by a fault/case plan dict
+_PLAN_KINDS = ("fault", "oracle", "explore")
 
 
 @dataclass(frozen=True)
@@ -49,9 +56,11 @@ class CellSpec:
     * ``"probe"``  — count-only fault-fire span -> ``int``
     * ``"fault"``  — one campaign crash case -> ``CaseResult``
     * ``"oracle"`` — one differential-oracle case -> ``OracleCaseResult``
+    * ``"explore"`` — one crash-space exploration unit (digest probe or
+      candidate crash case) -> ``ExploreProbe`` / ``ExploreCaseResult``
 
     ``variant`` is a paper variant name for ``"sim"`` cells and a bare
-    scheme name for ``"probe"``/``"fault"``/``"oracle"`` cells.
+    scheme name for every other kind.
     ``config`` is the full system configuration as produced by
     :func:`repro.exec.configio.config_to_dict` (``None`` means the
     default Table I configuration).  ``fault`` holds the crash-plan
@@ -73,9 +82,9 @@ class CellSpec:
         if self.kind not in KINDS:
             raise ConfigError(
                 f"unknown cell kind {self.kind!r}; pick one of {KINDS}")
-        if self.kind in ("fault", "oracle") and self.fault is None:
+        if self.kind in _PLAN_KINDS and self.fault is None:
             raise ConfigError(f"{self.kind} cells need a case plan")
-        if self.kind not in ("fault", "oracle") and self.fault is not None:
+        if self.kind not in _PLAN_KINDS and self.fault is not None:
             raise ConfigError(f"{self.kind} cells cannot carry a crash plan")
         if self.accesses <= 0 or self.footprint_blocks <= 0:
             raise ConfigError("accesses and footprint must be positive")

@@ -1,0 +1,49 @@
+"""Systematic crash-space exploration (``repro explore``).
+
+Enumerates every crash the fault registry can deliver — torn-write
+variants, crashes during recovery, bounded double-crash sequences —
+prunes state-equivalent candidates by durable-state digest, and
+validates each explored candidate through the differential oracle.
+See ``docs/crash_exploration.md``.
+"""
+from repro.explore.digest import durable_digest
+from repro.explore.explorer import (
+    ExploreSummary,
+    MutantSummary,
+    VariantSummary,
+    run_explore,
+)
+from repro.explore.planner import (
+    FireClass,
+    partition_fires,
+    phase1_plans,
+    phase2_plans,
+    phase3_plans,
+    second_crash_picks,
+    select_frontier,
+)
+from repro.explore.runner import (
+    ExploreCaseResult,
+    ExploreProbe,
+    run_explore_cell,
+    run_probe,
+)
+
+__all__ = [
+    "ExploreCaseResult",
+    "ExploreProbe",
+    "ExploreSummary",
+    "FireClass",
+    "MutantSummary",
+    "VariantSummary",
+    "durable_digest",
+    "partition_fires",
+    "phase1_plans",
+    "phase2_plans",
+    "phase3_plans",
+    "run_explore",
+    "run_explore_cell",
+    "run_probe",
+    "second_crash_picks",
+    "select_frontier",
+]

@@ -1,0 +1,54 @@
+"""Crash-point state digests: the explorer's DPOR-style pruning key.
+
+Two crash candidates are *equivalent* — guaranteed to produce
+byte-identical case results under every plan variant — when they agree
+on everything that can influence the world after the power fails:
+
+* the durable machine state a crash preserves (NVM line contents, the
+  write-pending queue, the on-chip root register, each scheme's declared
+  non-volatile extras, and the ADR-resident record-line cache that the
+  residual-power flush persists),
+* the dirty-cached-node snapshot, which is volatile but feeds the
+  post-recovery golden check (``DifferentialRun.check_recovery``
+  compares the recovered state against it), and
+* the resume position in the trace (compared by the planner, not hashed
+  here: two fires in different accesses replay different suffixes).
+
+Deliberately *excluded*: clean cache residency, LRU/way state, and the
+in-flight register state suppressed by atomic windows — all of it is
+destroyed by the crash before it can influence recovery, the golden
+check, or the resumed run (which restarts from the recovered state with
+an empty hierarchy).  Excluding it is what lets multiple fires inside
+one access collapse into one explored representative; the full
+soundness argument lives in ``docs/crash_exploration.md``.
+"""
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sim.system import SecureNVMSystem
+
+
+def durable_digest(system: "SecureNVMSystem") -> str:
+    """Hash of the crash-relevant state of one live machine.
+
+    Built from public accessors only; every component is a tuple of
+    ints/strings, so ``repr`` is canonical and process-independent.
+    """
+    c = system.controller
+    snap = c.oracle_snapshot()
+    tracker = getattr(c, "tracker", None)
+    parts = (
+        # "tree" is omitted: the TREE region is a subset of the full
+        # device view on the next line
+        tuple(sorted(((region.value, index), value)
+                     for (region, index), value in system.device.lines())),
+        system.device.wpq_snapshot(),
+        tuple(snap["root"]),
+        tuple(sorted(snap["dirty"].items())),
+        tuple(sorted(snap["extra"].items())),
+        tracker.snapshot() if tracker is not None else (),
+    )
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()

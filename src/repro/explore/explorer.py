@@ -1,0 +1,400 @@
+"""The crash-space explorer: systematic enumeration with exact pruning.
+
+For each (scheme, workload) the explorer runs four stages, every
+simulation packaged as an ``"explore"`` :class:`~repro.exec.spec.CellSpec`
+through :func:`repro.exec.pool.run_sweep` — so candidates fan out over
+processes, re-runs hit the content-addressed cache (incremental
+re-exploration: a warm rerun re-simulates nothing), and serial and
+parallel runs produce byte-identical reports:
+
+1. **Probe** — one instrumented run records every deliverable fire as
+   ``(point, access index, durable-state digest)``.
+2. **Phase 1** — partition fires into ``(digest, access index)``
+   equivalence classes; for each representative, crash healthy and with
+   each torn ADR budget; plus the untampered clean baseline.
+3. **Phase 2/3** — from each representative's healthy result, crash at
+   every step of its recovery (``recovery_fires``) and at bounded doses
+   of the resumed segment (``resumed_fires``) — crash-during-recovery
+   and double-crash coverage.
+4. **Mutant hunt** — plant each seeded bug from
+   :mod:`repro.oracle.mutants`, re-probe (a mutant can change the fire
+   sequence), and re-run clean + phase-1 candidates: every mutant must
+   surface somewhere *without the explorer being told where to crash*.
+
+Pruned-candidate counts are exact, not estimates: a skipped class
+member would have contributed precisely the same plan variants as its
+representative (see ``docs/crash_exploration.md`` for the soundness
+argument).  Budget mode (``class_budget``) bounds phase 1-3 to the
+highest-ranked classes and reports the rest as ``skipped_budget`` —
+bounded exploration is always loud, never silent.
+
+Only ``diverged`` (silent disagreement with the reference model) and an
+escaped mutant fail the run; ``detected``/``data_loss`` under a torn
+budget are the loud outcomes lossy crashes are allowed to have.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.common.config import SystemConfig, small_config
+from repro.exec.cache import ResultCache
+from repro.exec.configio import config_to_dict
+from repro.exec.pool import ProgressFn, run_sweep
+from repro.exec.spec import CellSpec
+from repro.explore.planner import (
+    FireClass,
+    partition_fires,
+    phase1_plans,
+    phase2_plans,
+    phase3_plans,
+    select_frontier,
+    shutdown_phase2_plans,
+    shutdown_plans,
+)
+from repro.explore.runner import ExploreCaseResult
+from repro.oracle.mutants import MUTANTS
+from repro.sim.system import SCHEMES
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.metrics import MetricRegistry
+
+#: outcomes that do not fail the explorer
+_OK_OUTCOMES = frozenset(
+    {"match", "detected", "data_loss", "unsupported", "inapplicable"})
+
+#: outcomes that count as *catching* a planted mutant
+_CAUGHT_OUTCOMES = frozenset({"detected", "diverged", "data_loss"})
+
+
+@dataclass
+class VariantSummary:
+    """Exploration bookkeeping for one (scheme, workload) cell."""
+
+    scheme: str
+    workload: str
+    fires: int = 0
+    classes: int = 0
+    frontier: int = 0
+    skipped_budget: int = 0
+    explored: dict[str, int] = field(default_factory=dict)
+    pruned: dict[str, int] = field(default_factory=dict)
+    outcome_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def explored_total(self) -> int:
+        return sum(self.explored.values())
+
+    @property
+    def pruned_total(self) -> int:
+        return sum(self.pruned.values())
+
+    def tally(self, phase: str, result: ExploreCaseResult) -> None:
+        self.explored[phase] = self.explored.get(phase, 0) + 1
+        self.outcome_counts[result.outcome] = \
+            self.outcome_counts.get(result.outcome, 0) + 1
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "scheme": self.scheme, "workload": self.workload,
+            "fires": self.fires, "classes": self.classes,
+            "frontier": self.frontier,
+            "skipped_budget": self.skipped_budget,
+            "explored": dict(sorted(self.explored.items())),
+            "pruned": dict(sorted(self.pruned.items())),
+            "explored_total": self.explored_total,
+            "pruned_total": self.pruned_total,
+            "outcomes": dict(sorted(self.outcome_counts.items())),
+        }
+
+
+@dataclass
+class MutantSummary:
+    """Whether one seeded bug was re-found, and by which candidate."""
+
+    name: str
+    scheme: str
+    caught: bool = False
+    caught_by: str = ""            #: phase/plan label of the first catch
+    outcome_counts: dict[str, int] = field(default_factory=dict)
+
+    def tally(self, label: str, result: ExploreCaseResult) -> None:
+        self.outcome_counts[result.outcome] = \
+            self.outcome_counts.get(result.outcome, 0) + 1
+        if not self.caught and result.outcome in _CAUGHT_OUTCOMES:
+            self.caught = True
+            self.caught_by = f"{label}: {result.outcome}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "scheme": self.scheme,
+            "caught": self.caught, "caught_by": self.caught_by,
+            "outcomes": dict(sorted(self.outcome_counts.items())),
+        }
+
+
+@dataclass
+class ExploreSummary:
+    """Everything one exploration produced.
+
+    ``to_json`` (and therefore the report file) deliberately excludes
+    cache-hit and timing data: a cold parallel run and a warm serial
+    rerun must produce byte-identical reports.  Cache provenance lives
+    on :attr:`cells_executed` / :attr:`cells_cached` for the CLI's
+    stderr summary and the benchmark emitter.
+    """
+
+    schemes: list[str]
+    workloads: list[str]
+    residuals: tuple[int, ...]
+    class_budget: int | None
+    recovery_cap: int | None
+    variants: list[VariantSummary] = field(default_factory=list)
+    mutants: list[MutantSummary] = field(default_factory=list)
+    failures: list[dict[str, Any]] = field(default_factory=list)
+    cells_executed: int = 0
+    cells_cached: int = 0
+
+    @property
+    def escaped_mutants(self) -> list[MutantSummary]:
+        return [m for m in self.mutants if not m.caught]
+
+    @property
+    def explored_total(self) -> int:
+        return sum(v.explored_total for v in self.variants)
+
+    @property
+    def pruned_total(self) -> int:
+        return sum(v.pruned_total for v in self.variants)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.escaped_mutants
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schemes": self.schemes, "workloads": self.workloads,
+            "residuals": list(self.residuals),
+            "class_budget": self.class_budget,
+            "recovery_cap": self.recovery_cap,
+            "variants": [v.to_json() for v in self.variants],
+            "mutants": [m.to_json() for m in self.mutants],
+            "explored_total": self.explored_total,
+            "pruned_total": self.pruned_total,
+            "failures": self.failures,
+            "escaped_mutants": [m.name for m in self.escaped_mutants],
+            "ok": self.ok,
+        }
+
+    def summary_lines(self) -> list[str]:
+        # no cache/timing provenance here: cold and warm runs must print
+        # identical tables (provenance goes to stderr via the CLI)
+        lines = [
+            "crash-space exploration: "
+            f"{self.explored_total} candidates explored, "
+            f"{self.pruned_total} pruned as state-equivalent",
+            f"{'scheme':<8} {'workload':<10} {'fires':>5} {'classes':>7} "
+            f"{'explored':>8} {'pruned':>6} {'skipped':>7}  outcomes",
+        ]
+        for v in self.variants:
+            counts = ", ".join(f"{k}={n}" for k, n in
+                               sorted(v.outcome_counts.items()))
+            lines.append(
+                f"{v.scheme:<8} {v.workload:<10} {v.fires:>5} "
+                f"{v.classes:>7} {v.explored_total:>8} "
+                f"{v.pruned_total:>6} {v.skipped_budget:>7}  {counts}")
+        for m in self.mutants:
+            status = f"caught ({m.caught_by})" if m.caught else "ESCAPED"
+            lines.append(f"mutant {m.name:<22} on {m.scheme:<6} {status}")
+        for f in self.failures:
+            lines.append(
+                f"FAIL {f['scheme']}/{f['workload']} {f['phase']} "
+                f"{f['plan']}: {f['outcome']} {f['detail']}")
+        if self.ok:
+            mutant_note = (", every seeded mutant re-found"
+                           if self.mutants else "")
+            lines.append("crash space clear: no silent divergence"
+                         + mutant_note)
+        return lines
+
+
+def _default_schemes() -> list[str]:
+    """The recovery-capable schemes (crashing a scheme that cannot
+    recover explores nothing)."""
+    return sorted(s for s in SCHEMES if SCHEMES[s].supports_recovery)
+
+
+def run_explore(schemes: list[str] | None = None,
+                workloads: list[str] | None = None,
+                accesses: int = 120, footprint: int = 512,
+                seed: int = 2025,
+                residuals: tuple[int, ...] = (0, 8),
+                class_budget: int | None = None,
+                recovery_cap: int | None = None,
+                with_mutants: bool = True,
+                jobs: int = 1,
+                cfg: SystemConfig | None = None,
+                cache: ResultCache | None = None,
+                progress: ProgressFn | None = None,
+                metrics: "MetricRegistry | None" = None) -> ExploreSummary:
+    """Enumerate and validate the crash space; returns the summary.
+
+    ``class_budget=None`` / ``recovery_cap=None`` is full enumeration
+    (the ``--small`` mode): every equivalence class explored, every
+    recovery step crashed.  Finite values switch to the coverage-guided
+    frontier for larger traces.
+    """
+    schemes = list(schemes) if schemes else _default_schemes()
+    workloads = list(workloads) if workloads else ["pers_hash"]
+    if cfg is None:
+        # the smallest metadata cache: short traces must still evict —
+        # eviction fires are where state-equivalent candidates cluster
+        # (pruning), and cache pressure is what makes persist-dropping
+        # mutants observable at all
+        cfg = small_config(metadata_cache_bytes=512)
+    cfg_dict = config_to_dict(cfg)
+
+    def spec_for(scheme: str, workload: str,
+                 plan: dict[str, Any]) -> CellSpec:
+        return CellSpec("explore", scheme, workload, accesses, footprint,
+                        seed, check=False, config=cfg_dict, fault=plan)
+
+    def sweep(specs: list[CellSpec]):
+        report = run_sweep(specs, jobs=jobs, cache=cache,
+                           progress=progress)
+        summary.cells_executed += report.executed
+        summary.cells_cached += report.cached
+        return report
+
+    summary = ExploreSummary(schemes=schemes, workloads=workloads,
+                             residuals=tuple(residuals),
+                             class_budget=class_budget,
+                             recovery_cap=recovery_cap)
+
+    def record(vrep: VariantSummary, phase: str, plan: dict[str, Any],
+               result: ExploreCaseResult) -> None:
+        vrep.tally(phase, result)
+        if result.outcome not in _OK_OUTCOMES:
+            summary.failures.append({
+                "scheme": vrep.scheme, "workload": vrep.workload,
+                "phase": phase, "plan": plan,
+                "outcome": result.outcome, "detail": result.detail,
+                "divergences": result.divergences,
+            })
+
+    # ---------------------------------------------------- stage A: probe
+    variant_keys = [(s, w) for s in schemes for w in workloads]
+    probe_specs = [spec_for(s, w, {"mode": "probe"})
+                   for s, w in variant_keys]
+    mutant_rows: list[tuple[str, str]] = []
+    if with_mutants:
+        for name in sorted(MUTANTS):
+            eligible = sorted(set(MUTANTS[name].schemes) & set(schemes))
+            if not eligible:
+                continue
+            mutant_rows.append((name, eligible[0]))
+            probe_specs.append(spec_for(eligible[0], workloads[0],
+                                        {"mode": "probe", "mutant": name}))
+    probe_report = sweep(probe_specs)
+    probes = probe_report.values
+
+    # -------------------------------- stage B: clean + phase-1 candidates
+    variants: dict[tuple[str, str], VariantSummary] = {}
+    frontiers: dict[tuple[str, str], tuple[FireClass, ...]] = {}
+    specs: list[CellSpec] = []
+    # (kind, key, phase, plan, class) per spec, aligned by index
+    tags: list[tuple[str, Any, str, dict[str, Any], FireClass | None]] = []
+    for (s, w), probe in zip(variant_keys, probes):
+        vrep = VariantSummary(scheme=s, workload=w, fires=len(probe.fires))
+        classes = partition_fires(probe)
+        vrep.classes = len(classes)
+        frontier, skipped = select_frontier(classes, class_budget)
+        vrep.frontier = len(frontier)
+        vrep.skipped_budget = skipped
+        variants[(s, w)] = vrep
+        frontiers[(s, w)] = frontier
+        specs.append(spec_for(s, w, {"mode": "clean"}))
+        tags.append(("variant", (s, w), "clean", {"mode": "clean"}, None))
+        for plan in shutdown_plans(tuple(residuals)):
+            specs.append(spec_for(s, w, plan))
+            tags.append(("variant", (s, w), "phase1", plan, None))
+        for cls in frontier:
+            vrep.pruned["phase1"] = vrep.pruned.get("phase1", 0) + \
+                cls.pruned * (1 + len(residuals))
+            for plan in phase1_plans(cls, tuple(residuals)):
+                specs.append(spec_for(s, w, plan))
+                tags.append(("variant", (s, w), "phase1", plan, cls))
+    mreps: dict[str, MutantSummary] = {}
+    for (name, mscheme), probe in zip(
+            mutant_rows, probes[len(variant_keys):]):
+        mreps[name] = MutantSummary(name=name, scheme=mscheme)
+        mclasses = partition_fires(probe)
+        mfrontier, _ = select_frontier(mclasses, class_budget)
+        plan = {"mode": "clean", "mutant": name}
+        specs.append(spec_for(mscheme, workloads[0], plan))
+        tags.append(("mutant", name, "clean", plan, None))
+        plan = {"mode": "case", "at_shutdown": True, "mutant": name}
+        specs.append(spec_for(mscheme, workloads[0], plan))
+        tags.append(("mutant", name, "phase1", plan, None))
+        for cls in mfrontier:
+            plan = {"mode": "case", "crash_after": cls.rep, "mutant": name}
+            specs.append(spec_for(mscheme, workloads[0], plan))
+            tags.append(("mutant", name, "phase1", plan, cls))
+    report_b = sweep(specs)
+
+    # healthy phase-1 result per class: the phase-2/3 dose spans
+    healthy: dict[tuple[str, str], dict[int, ExploreCaseResult]] = \
+        {key: {} for key in variant_keys}
+    for tag, outcome in zip(tags, report_b.outcomes):
+        kind, key, phase, plan, cls = tag
+        result = outcome.value
+        if kind == "variant":
+            record(variants[key], phase, plan, result)
+            if phase == "phase1" and "residual_words" not in plan:
+                # the shutdown-boundary candidate keys as rep 0 (real
+                # fire indices are 1-based)
+                healthy[key][cls.rep if cls is not None else 0] = result
+        else:
+            mreps[key].tally(f"{phase} {plan}", result)
+
+    # ----------------------- stage C: recovery-crash + double-crash doses
+    specs, tags = [], []
+    for (s, w), frontier in frontiers.items():
+        vrep = variants[(s, w)]
+        shutdown_result = healthy[(s, w)].get(0)
+        if shutdown_result is not None:
+            for plan in shutdown_phase2_plans(
+                    shutdown_result.recovery_fires, recovery_cap):
+                specs.append(spec_for(s, w, plan))
+                tags.append(("variant", (s, w), "phase2", plan, None))
+        for cls in frontier:
+            result = healthy[(s, w)].get(cls.rep)
+            if result is None:
+                continue
+            p2 = phase2_plans(cls, result.recovery_fires, recovery_cap)
+            p3 = phase3_plans(cls, result.resumed_fires)
+            vrep.pruned["phase2"] = vrep.pruned.get("phase2", 0) + \
+                cls.pruned * len(p2)
+            vrep.pruned["phase3"] = vrep.pruned.get("phase3", 0) + \
+                cls.pruned * len(p3)
+            for phase, plans in (("phase2", p2), ("phase3", p3)):
+                for plan in plans:
+                    specs.append(spec_for(s, w, plan))
+                    tags.append(("variant", (s, w), phase, plan, cls))
+    report_c = sweep(specs)
+    for tag, outcome in zip(tags, report_c.outcomes):
+        _, key, phase, plan, _cls = tag
+        record(variants[key], phase, plan, outcome.value)
+
+    summary.variants = [variants[key] for key in variant_keys]
+    summary.mutants = [mreps[name] for name, _ in mutant_rows]
+    if metrics is not None:
+        metrics.counter("explore.candidates_explored").inc(
+            summary.explored_total)
+        metrics.counter("explore.candidates_pruned").inc(
+            summary.pruned_total)
+        metrics.counter("explore.cells_executed").inc(
+            summary.cells_executed)
+        metrics.counter("explore.cells_cached").inc(summary.cells_cached)
+        metrics.counter("explore.failures").inc(len(summary.failures))
+    return summary

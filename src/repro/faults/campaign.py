@@ -245,16 +245,29 @@ def run_case(case: CampaignCase, cfg: SystemConfig,
 
 
 def minimize_case(case: CampaignCase, cfg: SystemConfig,
-                  trace: TraceArrays) -> int:
+                  trace: TraceArrays, require_point: str = "") -> int:
     """Smallest trace prefix (in accesses) that still diverges.
 
     Binary search: divergence is near-monotone in the prefix length
     because the crash trigger is a fire *count* — prefixes too short to
     reach it cannot diverge.  Best effort, never worse than the full
     trace.
+
+    ``require_point`` pins the minimized reproduction to the original
+    failure: each candidate prefix is re-run end to end (re-probing
+    where the crash trigger actually lands on the shortened trace), and
+    a prefix only counts as reproducing if its crash fires at the same
+    injection point.  Without the pin, a truncated trace can diverge
+    through a *different* crash (the trigger is a global fire count, and
+    what the resumed suffix exercises changes with the prefix length),
+    so the reported minimized repro would crash at the wrong fire and
+    debug a different bug than the campaign hit.
     """
     def diverges(n: int) -> bool:
-        return run_case(case, cfg, trace.head(n)).outcome == "diverged"
+        result = run_case(case, cfg, trace.head(n))
+        if result.outcome != "diverged":
+            return False
+        return not require_point or result.crash_point == require_point
 
     lo, hi = 1, len(trace)
     if not diverges(hi):
@@ -334,7 +347,8 @@ def run_campaign(schemes: list[str], workloads: list[str],
             }
             if len(diverged) < 3:  # minimization is a full re-run loop
                 entry["minimized_prefix"] = minimize_case(
-                    case, cfg, trace_for(case.workload))
+                    case, cfg, trace_for(case.workload),
+                    require_point=result.crash_point)
             diverged.append(entry)
     return {
         "seed": seed,

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.common.errors import ConfigError, CrashInjected
 
@@ -78,6 +78,11 @@ class FaultPlan:
     #: n-th occurrence of a *specific* point (the oracle's per-point
     #: crash targeting); off by default to keep armed hot paths lean
     log_fires: bool = False
+    #: observer invoked at every *deliverable* runtime fire (after the
+    #: counters advance, before any crash raises) — the crash-space
+    #: explorer's probe uses it to digest the durable state a crash at
+    #: exactly this fire would see; None costs nothing on the hot path
+    on_fire: Callable[[str], None] | None = None
     fires: dict[str, int] = field(default_factory=dict)
     fire_log: list[str] = field(default_factory=list)
     run_fires: int = 0
@@ -158,6 +163,8 @@ def fire(point: str) -> None:
         plan.run_fires += 1
         if plan.log_fires:
             plan.fire_log.append(point)
+        if plan.on_fire is not None:
+            plan.on_fire(point)
         if (plan.crash_after is not None
                 and not plan.crash_delivered
                 and plan.run_fires >= plan.crash_after):

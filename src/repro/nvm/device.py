@@ -158,6 +158,15 @@ class NVMDevice:
         """In-flight (not yet architecturally durable) writes."""
         return len(self._wpq)
 
+    def wpq_snapshot(self) -> tuple[tuple[str, int], ...]:
+        """The queued (region, index) targets, oldest first.
+
+        Two machine states with identical line contents but different
+        pending queues crash differently under a finite ADR energy
+        budget (unfunded tails are rolled back or torn), so crash-space
+        digests must cover the queue, not just the store."""
+        return tuple((region.value, index) for region, index, _ in self._wpq)
+
     # ------------------------------------------------------------- crash
     def crash(self) -> None:
         """A power failure with a healthy ADR domain: the WPQ fully

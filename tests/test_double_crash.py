@@ -1,0 +1,98 @@
+"""Double-crash recovery properties (issue satellite): crash mid-run,
+crash *again* partway through the recovery pass, then recover fully —
+every recovery-capable scheme must land in the golden pre-crash state.
+
+This is the fault-registry analogue of the explorer's phase-2/phase-3
+candidates (``docs/crash_exploration.md``): here hypothesis draws the
+crash fire and the recovery dose instead of enumerating them, so the
+``deep`` profile keeps searching crash placements the bounded explorer
+presets never reach.
+"""
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import drive, scaled
+
+from repro.common.config import small_config
+from repro.common.errors import CrashInjected
+from repro.faults.registry import FaultPlan, armed
+from repro.sim.crash import capture_golden, check_recovered
+from repro.sim.system import SecureNVMSystem
+from repro.workloads import get_profile
+
+RECOVERABLE = ("steins", "asit", "star", "scue")
+
+
+def _crashed_system(scheme: str, crash_after: int):
+    """Drive until the plan fires, then power off mid-run.
+
+    Returns ``(system, golden)`` where golden is the durable state the
+    recoveries must reconverge to.  If the trace is too short for the
+    trigger, crash at the end instead — still a valid scenario.
+    """
+    system = SecureNVMSystem(scheme, small_config(metadata_cache_bytes=512),
+                             check=True)
+    trace = get_profile("pers_hash").generate(seed=13, n=120, footprint=512)
+    plan = FaultPlan(crash_after=crash_after)
+    with armed(plan):
+        try:
+            drive(system, trace)
+        except CrashInjected:
+            pass
+    golden = capture_golden(system)
+    system.crash()
+    return system, golden
+
+
+def _recover_with_second_crash(system, dose: int) -> bool:
+    """First recovery pass crashed after ``dose`` steps, second pass runs
+    to completion.  Returns True when the second crash was delivered."""
+    plan = FaultPlan(recovery_crash_after=dose)
+    with armed(plan):
+        try:
+            system.recover()
+        except CrashInjected:
+            system.crash()
+            system.recover()
+    return plan.recovery_crash_delivered
+
+
+@pytest.mark.parametrize("scheme", RECOVERABLE)
+@settings(max_examples=scaled(15))
+@given(crash_after=st.integers(min_value=1, max_value=160),
+       dose=st.integers(min_value=1, max_value=12))
+def test_recovery_survives_a_second_crash(scheme, crash_after, dose):
+    system, golden = _crashed_system(scheme, crash_after)
+    _recover_with_second_crash(system, dose)
+    check_recovered(system, golden)
+    system.verify_all_persisted()
+
+
+@pytest.mark.parametrize("scheme", RECOVERABLE)
+def test_second_crash_at_every_reachable_recovery_step(scheme):
+    """Exhaustive in the dose: crash the first recovery pass at its
+    k-th step for every k it can reach, for one fixed run crash."""
+    k = 1
+    while True:
+        system, golden = _crashed_system(scheme, crash_after=40)
+        delivered = _recover_with_second_crash(system, k)
+        check_recovered(system, golden)
+        system.verify_all_persisted()
+        if not delivered:
+            break  # recovery finished in fewer than k steps
+        k += 1
+    assert k > 1, "recovery never fired an injection point"
+
+
+@pytest.mark.parametrize("scheme", RECOVERABLE)
+def test_triple_recovery_is_idempotent(scheme):
+    """Recover -> crash -> recover -> crash -> recover converges: extra
+    interrupted passes never move the recovered state."""
+    system, golden = _crashed_system(scheme, crash_after=40)
+    _recover_with_second_crash(system, 1)
+    check_recovered(system, golden)
+    for _ in range(2):
+        system.crash()
+        system.recover()
+        check_recovered(system, golden)

@@ -109,6 +109,54 @@ class TestResultCache:
         assert ResultCache(tmp_path).get("0" * 64) is None
 
 
+class TestCacheSchema:
+    """The ``CACHE_SCHEMA`` contract around the "explore" kind addition.
+
+    A new cell kind must never invalidate existing entries retroactively
+    — old entries just sit at their old addresses — and an envelope
+    carrying a kind the executor does not know must fail *loudly*, not
+    silently recompute (it means an incompatible writer shares the
+    cache directory).
+    """
+
+    def test_schema_is_two(self):
+        from repro.exec.spec import CACHE_SCHEMA, KINDS
+
+        assert CACHE_SCHEMA == 2
+        assert "explore" in KINDS
+
+    def test_key_pinned_under_explicit_version(self):
+        # golden hash computed when "explore" joined KINDS: growing the
+        # kind tuple must not shift keys of existing kinds — only the
+        # key's own inputs (spec fields + code_version) may move it
+        assert cell_key(spec(), code_version="golden/1") == \
+            "ea87e8743ea257480b4a29c4fabe3ecdde8e8652c14c7b1e0d34016568b926b0"
+
+    def test_schema_bump_relocates_but_never_rewrites(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        old_key = cell_key(spec(), code_version="1.0.0/1")
+        cache.put(old_key, "sim", {"marker": 1})
+        # schema-2 code computes a different address and misses cleanly
+        new_key = cell_key(spec(), code_version="1.0.0/2")
+        assert new_key != old_key
+        assert cache.get(new_key) is None
+        # the schema-1 entry is untouched at its old address
+        assert cache.get(old_key) == {"marker": 1}
+
+    def test_unknown_kind_envelope_rejected_loudly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cell_key(spec())
+        cache.put(key, "plasma", {"payload-looks": "fine"})
+        with pytest.raises(ConfigError, match="plasma"):
+            cache.get(key)
+
+    def test_explore_kind_requires_a_case_plan(self):
+        with pytest.raises(ConfigError):
+            spec(kind="explore", fault=None)
+        s = spec(kind="explore", check=False, fault={"mode": "probe"})
+        assert cell_key(s) != cell_key(spec())
+
+
 class TestConfigIO:
     def test_round_trip_through_json(self):
         cfg = small_config()

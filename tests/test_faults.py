@@ -205,6 +205,73 @@ class TestCampaign:
         assert report["outcomes"].get("detected", 0) > 0
 
 
+class TestMinimizeCase:
+    """Regression: the crash trigger is a global fire *count*, so the
+    injection point it lands on shifts with the prefix length.  An
+    unpinned minimization can converge on a prefix that diverges through
+    a *different* crash than the campaign hit — a minimized repro for
+    the wrong bug.  ``require_point`` pins the search to the original
+    failure.
+    """
+
+    @staticmethod
+    def _fake_run_case(case, cfg, prefix):
+        from repro.faults.campaign import CaseResult
+
+        # short prefixes shift the same fire count onto an eviction
+        # fire (a different, also-divergent crash); only prefixes long
+        # enough to reach the original write fire reproduce the bug
+        if len(prefix) >= 40:
+            return CaseResult(case, "diverged",
+                              crash_point="controller.write")
+        if len(prefix) >= 10:
+            return CaseResult(case, "diverged",
+                              crash_point="metacache.evict")
+        return CaseResult(case, "recovered")
+
+    def test_unpinned_search_lands_on_the_wrong_fire(self, monkeypatch):
+        from repro.faults import campaign
+
+        monkeypatch.setattr(campaign, "run_case", self._fake_run_case)
+        case = campaign.CampaignCase("steins", "pers_hash",
+                                     crash_after=20)
+        cfg = small_config()
+        trace = get_profile("pers_hash").generate(seed=3, n=100,
+                                                  footprint=2048)
+        # the unpinned minimum accepts the shifted crash: rerunning it
+        # would crash at metacache.evict, not the campaign's fire
+        assert campaign.minimize_case(case, cfg, trace) == 10
+        wrong = self._fake_run_case(case, cfg, trace.head(10))
+        assert wrong.crash_point != "controller.write"
+
+    def test_pinned_search_reproduces_the_original_crash(self,
+                                                         monkeypatch):
+        from repro.faults import campaign
+
+        monkeypatch.setattr(campaign, "run_case", self._fake_run_case)
+        case = campaign.CampaignCase("steins", "pers_hash",
+                                     crash_after=20)
+        cfg = small_config()
+        trace = get_profile("pers_hash").generate(seed=3, n=100,
+                                                  footprint=2048)
+        n = campaign.minimize_case(case, cfg, trace,
+                                   require_point="controller.write")
+        assert n == 40
+        repro_result = self._fake_run_case(case, cfg, trace.head(n))
+        assert repro_result.outcome == "diverged"
+        assert repro_result.crash_point == "controller.write"
+
+    def test_campaign_reports_pinned_minimized_prefixes(self):
+        report = run_campaign(schemes=["asit"], workloads=["pers_hash"],
+                              crashes=12, seed=4, accesses=200,
+                              footprint=2048)
+        # whatever diverged (usually nothing on a healthy tree) must
+        # carry a minimized prefix no longer than the full trace
+        for entry in report["diverged"]:
+            if "minimized_prefix" in entry:
+                assert 1 <= entry["minimized_prefix"] <= 200
+
+
 # ----------------------------------------- crash-during-recovery sweep
 def drive_writes(system: SecureNVMSystem, n: int = 180) -> None:
     trace = get_profile("pers_hash").generate(seed=9, n=n, footprint=2048)

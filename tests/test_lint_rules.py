@@ -177,6 +177,37 @@ class TestOracleRule:
         assert lint("oracle_ok.py").diagnostics == []
 
 
+class TestExploreRule:
+    def test_flags_every_crash_loop_shape(self):
+        result = lint("explore_bad.py")
+        assert hits(result) == [
+            ("SL801", 6),   # for over INJECTION_POINTS
+            ("SL801", 12),  # FaultPlan inside a for body
+            ("SL801", 20),  # FaultPlan inside a while body
+            ("SL801", 26),  # for over plan.fire_log
+        ]
+        assert result.exit_code() == 1
+
+    def test_single_plans_run_explore_and_plain_loops_are_silent(self):
+        assert lint("explore_ok.py").diagnostics == []
+
+    def test_sanctioned_crash_tooling_dirs_may_enumerate(self, tmp_path):
+        src = (FIXTURES / "explore_bad.py").read_text()
+        for pkg in ("explore", "oracle", "faults"):
+            copy = tmp_path / pkg / "sweep.py"
+            copy.parent.mkdir()
+            copy.write_text(src)
+            assert run_lint([str(copy)]).diagnostics == []
+
+    def test_reasoned_suppression_path(self, tmp_path):
+        copy = tmp_path / "one_off.py"
+        copy.write_text(
+            "for k in range(9):\n"
+            "    # simlint: disable-next=SL801 -- test: bisecting one fire\n"
+            "    plan = FaultPlan(crash_after=k)\n")
+        assert run_lint([str(copy)]).diagnostics == []
+
+
 class TestSuppressions:
     def test_reasoned_directives_silence_by_id_and_name(self):
         assert lint("suppress_reasoned.py").diagnostics == []

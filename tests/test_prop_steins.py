@@ -108,6 +108,32 @@ def test_flush_all_survives_nested_redirty_regression():
         assert a.read_data(addr) == b.read_data(addr)
 
 
+def test_flush_all_uses_live_entry_after_midpass_refetch_regression():
+    """Regression (hypothesis-found): flush_all iterated a snapshot of
+    dirty (offset, node) pairs; mid-pass, a leaf flush's drain evicted
+    the parent and re-fetched it as a *fresh* object that then absorbed
+    the leaf's generated counter.  The loop later reached the stale
+    snapshot pair, saw the offset dirty (the fresh entry's bit), and
+    persisted the stale object — overwriting the applied counter in NVM
+    while mark_clean erased the only dirty bit pointing at the live
+    copy.  A cold restart then verified the leaf against the stale
+    parent slot (HMAC mismatch).  flush_all now re-peeks the live cache
+    entry before flushing."""
+    addrs = [128, 192, 448, 680, 728, 8, 88, 768, 136, 0, 216, 320,
+             200, 72, 8, 128, 616]
+    a, _, _ = make_rig(CounterMode.GENERAL, SteinsController, 1024)
+    b, _, _ = make_rig(CounterMode.GENERAL, SteinsController, 1024)
+    for i, addr in enumerate(addrs):
+        a.write_data(addr, i)
+        b.write_data(addr, i)
+    a.flush_all()
+    a.metacache.clear()
+    b.crash()
+    b.recover()
+    for addr in sorted(set(addrs)):
+        assert a.read_data(addr) == b.read_data(addr)
+
+
 @settings(max_examples=scaled(10), deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(st.lists(st.integers(0, 1200), min_size=5, max_size=60))

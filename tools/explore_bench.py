@@ -1,0 +1,109 @@
+"""Cold/warm crash-exploration smoke bench (``make explore-smoke``).
+
+Runs the full-enumeration ``--small`` exploration twice through one
+result cache and pins the two properties the explorer's incrementality
+rests on:
+
+* the warm rerun performs **zero** re-simulations (every cell cached);
+* cold and warm reports compare equal, byte for byte once serialized
+  (the report carries no timing or cache provenance).
+
+Then writes throughput numbers to ``BENCH_explore.json``: explored
+candidates per second, the pruned fraction of the crash space, and the
+warm cache hit rate.  Exits non-zero on any divergence, an escaped
+mutant, a warm re-simulation, or a cold/warm report mismatch.
+
+Usage::
+
+    PYTHONPATH=src python tools/explore_bench.py [out.json [cache-dir]]
+"""
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.exec import ResultCache
+from repro.explore import run_explore
+
+#: the --small preset: tiny trace, full enumeration, all four
+#: recovery-capable schemes, mutant self-test on
+PRESET = dict(accesses=60, footprint=256, seed=2025,
+              class_budget=None, recovery_cap=None)
+
+
+def main(argv: list[str]) -> int:
+    out_path = argv[1] if len(argv) > 1 else "BENCH_explore.json"
+    cache_dir = argv[2] if len(argv) > 2 else None
+    scratch = None
+    if cache_dir is None:
+        scratch = tempfile.mkdtemp(prefix="explore-bench-")
+        cache_dir = scratch
+    try:
+        cache = ResultCache(cache_dir)
+
+        t0 = time.perf_counter()
+        cold = run_explore(cache=cache, **PRESET)
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = run_explore(cache=cache, **PRESET)
+        warm_s = time.perf_counter() - t0
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    failures = []
+    if not cold.ok:
+        failures.append(
+            f"exploration not clean: {len(cold.failures)} failure(s), "
+            f"escaped mutants {[m.name for m in cold.escaped_mutants]}")
+    if warm.cells_executed != 0:
+        failures.append(
+            f"warm rerun re-simulated {warm.cells_executed} cells")
+    cold_doc = json.dumps(cold.to_json(), sort_keys=True)
+    warm_doc = json.dumps(warm.to_json(), sort_keys=True)
+    if cold_doc != warm_doc:
+        failures.append("cold and warm reports differ")
+
+    total_cells = warm.cells_executed + warm.cells_cached
+    candidates = cold.explored_total
+    space = candidates + cold.pruned_total
+    bench = {
+        "schemes": [v.scheme for v in cold.variants],
+        "accesses": PRESET["accesses"],
+        "footprint": PRESET["footprint"],
+        "seed": PRESET["seed"],
+        "explored": candidates,
+        "pruned": cold.pruned_total,
+        "pruned_fraction": round(cold.pruned_total / space, 4) if space
+        else 0.0,
+        "candidates_per_sec": round(candidates / cold_s, 2) if cold_s
+        else 0.0,
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "cells": total_cells,
+        "cache_hit_rate": round(warm.cells_cached / total_cells, 4)
+        if total_cells else 0.0,
+        "mutants_caught": [m.name for m in cold.mutants if m.caught],
+        "ok": not failures,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    for line in cold.summary_lines():
+        print(line)
+    print(f"bench: {bench['explored']} explored in {bench['cold_seconds']}s "
+          f"({bench['candidates_per_sec']}/s), pruned fraction "
+          f"{bench['pruned_fraction']}, warm hit rate "
+          f"{bench['cache_hit_rate']} -> {out_path}")
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
