@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast coverage lint simlint ruff mypy faults-smoke \
-	sweep-smoke trace-smoke oracle-smoke explore-smoke all
+	sweep-smoke trace-smoke oracle-smoke explore-smoke serve-smoke all
 
 all: lint test
 
@@ -62,6 +62,16 @@ explore-smoke:
 	grep -q "0 cells simulated" .explore-smoke/warm.err
 	cmp .explore-smoke/cold.txt .explore-smoke/warm.txt
 	rm -rf .explore-smoke
+
+# distributed sweep service end-to-end: boots the real `repro serve`
+# CLI, routes a figure batch + an oracle batch through the socket, and
+# requires byte-identity with serial execution (cold and warm), zero
+# warm recomputes, and in-flight dedup of duplicate cells; writes
+# BENCH_sweep.json (cells/sec cold+warm, hit rate, worker count)
+serve-smoke:
+	rm -rf .serve-smoke && mkdir -p .serve-smoke
+	$(PYTHON) tools/serve_bench.py BENCH_sweep.json .serve-smoke/cache
+	rm -rf .serve-smoke
 
 # differential conformance suite: every scheme against the reference
 # model — clean runs, a crash at every injection point the scheme

@@ -70,7 +70,8 @@ class FigureHarness:
                  workloads: tuple[str, ...] = PAPER_WORKLOADS,
                  cfg: SystemConfig | None = None,
                  jobs: int = 1,
-                 cache: ResultCache | None = None) -> None:
+                 cache: ResultCache | None = None,
+                 service: str | None = None) -> None:
         self.accesses = accesses
         self.footprint_blocks = footprint_blocks
         self.seed = seed
@@ -78,6 +79,9 @@ class FigureHarness:
         self.cfg = cfg if cfg is not None else figure_config()
         self.jobs = jobs
         self.cache = cache
+        #: socket path of a running ``repro serve`` instance; when set,
+        #: sweeps route through the service instead of a local pool
+        self.service = service
         #: optional ``(done, total, outcome)`` callback for sweep progress
         self.progress = None
         #: the report of the most recent :meth:`ensure` fan-out
@@ -102,7 +106,7 @@ class FigureHarness:
             return
         specs = [self.spec(v, w) for v, w in missing]
         report = run_sweep(specs, jobs=self.jobs, cache=self.cache,
-                           progress=self.progress)
+                           progress=self.progress, service=self.service)
         for pair, result in zip(missing, report.values):
             self._cells[pair] = result
         self.last_sweep = report

@@ -12,6 +12,7 @@ Rule id allocation:
 * SL601-SL699  observability hygiene
 * SL701-SL799  differential-oracle conformance hygiene
 * SL801-SL899  crash-space exploration hygiene
+* SL901-SL998  service hygiene
 * SL999        parse errors (engine-emitted)
 """
 from repro.analysis.lint.rules import (  # noqa: F401  -- registration
@@ -24,5 +25,6 @@ from repro.analysis.lint.rules import (  # noqa: F401  -- registration
     oracle,
     orchestration,
     persist,
+    serve,
     stats,
 )

@@ -1,0 +1,74 @@
+"""Service hygiene.
+
+The sweep service (:mod:`repro.serve`) is the one place in the tree
+that talks to sockets and runs an event loop.  That quarantine is what
+keeps the determinism story auditable: every byte that crosses a
+network boundary goes through the service's canonical NDJSON protocol,
+and nothing in the simulator, the executor, or the analysis layers can
+grow an ad-hoc side channel (an asyncio task mutating shared state
+mid-simulation, a socket smuggling non-canonical floats) without
+tripping the linter.
+
+* SL901 ``socket-or-async-outside-serve`` (ERROR) — ``socket`` /
+  ``asyncio`` / ``selectors`` imported outside ``repro.serve``.
+
+Legitimate exceptions take the reasoned-suppression path:
+``# simlint: disable-next=SL901 -- <why this I/O cannot touch results>``.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.registry import (
+    FileUnit,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+#: top-level module names whose import means network or event-loop I/O
+_NET_MODULES = ("socket", "asyncio", "selectors")
+
+
+def _is_net_module(dotted: str | None) -> bool:
+    return dotted is not None and dotted.split(".")[0] in _NET_MODULES
+
+
+@register
+class SocketOrAsyncOutsideServeRule(Rule):
+    id = "SL901"
+    name = "socket-or-async-outside-serve"
+    severity = Severity.ERROR
+    description = ("socket / asyncio / selectors import outside "
+                   "repro.serve")
+    invariant = ("all network and event-loop I/O flows through the sweep "
+                 "service, so every payload crossing a process or host "
+                 "boundary takes the one canonical encode/decode path "
+                 "and reports stay byte-identical to serial runs")
+    paper = "distributed sweep service (docs/orchestration.md)"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        # the service package itself is the sanctioned home
+        if "serve" in unit.parts[:-1]:
+            return
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _is_net_module(alias.name):
+                        yield self.diag(unit, node, (
+                            f"import of '{alias.name}': sockets and "
+                            "event loops belong in repro.serve (its "
+                            "protocol keeps distributed reports "
+                            "byte-identical to serial ones); route I/O "
+                            "through the service"))
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if _is_net_module(node.module):
+                    yield self.diag(unit, node, (
+                        f"import from '{node.module}': sockets and "
+                        "event loops belong in repro.serve (its "
+                        "protocol keeps distributed reports "
+                        "byte-identical to serial ones); route I/O "
+                        "through the service"))

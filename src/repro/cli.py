@@ -14,6 +14,8 @@ Commands
 ``oracle``    differential conformance suite vs the reference model (docs/testing.md)
 ``explore``   systematic crash-space exploration with state-digest pruning (docs/crash_exploration.md)
 ``trace``     run one cell with tracing armed; write Chrome-trace + metric dumps (docs/observability.md)
+``serve``     run the distributed sweep service on a local socket (docs/orchestration.md)
+``submit``    talk to a running sweep service (ping/stats/shutdown/batch)
 ``lint``      run simlint over the tree (see ``repro.analysis.lint``)
 """
 from __future__ import annotations
@@ -110,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "cache")
     sweep.add_argument("--chart", action="store_true",
                        help="render bar charts instead of number tables")
+    sweep.add_argument("--service", default=None,
+                       help="route the sweep through a running `repro "
+                            "serve` socket (ignores --jobs/--cache-dir: "
+                            "the service owns both)")
 
     from repro.sim.system import SCHEMES
 
@@ -137,6 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "cache (off by default)")
     faults.add_argument("--json", action="store_true",
                         help="emit the full report as JSON")
+    faults.add_argument("--service", default=None,
+                        help="route the campaign's sweeps through a "
+                             "running `repro serve` socket")
 
     oracle = sub.add_parser(
         "oracle",
@@ -164,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "cache (off by default)")
     oracle.add_argument("--json", action="store_true",
                         help="emit the full tally as JSON")
+    oracle.add_argument("--service", default=None,
+                        help="route the suite's sweep through a running "
+                             "`repro serve` socket")
 
     explore = sub.add_parser(
         "explore",
@@ -212,6 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the JSON report to this file")
     explore.add_argument("--metrics", default=None,
                          help="write repro.obs metrics JSON to this file")
+    explore.add_argument("--service", default=None,
+                         help="route the exploration's sweeps through a "
+                              "running `repro serve` socket")
 
     trc = sub.add_parser(
         "trace",
@@ -234,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="use the scaled-down test configuration (16 KB "
                           "metadata cache) so eviction and NV-buffer "
                           "activity shows up in short traces")
+
+    # the serve/submit subparsers are defined next to their handlers so
+    # the socket/asyncio machinery stays inside repro.serve (SL901);
+    # importing the light cli shim pulls neither
+    from repro.serve.cli import add_serve_args
+
+    add_serve_args(sub)
 
     lint = sub.add_parser(
         "lint", help="run simlint (crash-consistency/determinism checks)",
@@ -358,12 +380,14 @@ def cmd_sweep(args) -> int:
     figures = args.figure or [n for n in sorted(FIGURES, key=int)
                               if n != "17"]
     jobs = args.jobs or (os.cpu_count() or 1)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = None if args.no_cache or args.service \
+        else ResultCache(args.cache_dir)
     workloads = tuple(args.workload) if args.workload else PAPER_WORKLOADS
     harness = FigureHarness(accesses=args.accesses,
                             footprint_blocks=args.footprint,
                             seed=args.seed, workloads=workloads,
-                            jobs=jobs, cache=cache)
+                            jobs=jobs, cache=cache,
+                            service=args.service)
     harness.progress = _sweep_progress
     # one fan-out over the union of every requested figure's variants;
     # the figure extractors below then hit only warm cells
@@ -399,7 +423,8 @@ def cmd_faults(args) -> int:
         crashes=args.crashes, seed=args.seed,
         accesses=args.accesses, footprint=args.footprint,
         jobs=args.jobs or (os.cpu_count() or 1),
-        cache=ResultCache(args.cache_dir) if args.cache_dir else None)
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        service=args.service)
     if args.json:
         import json
 
@@ -420,7 +445,8 @@ def cmd_oracle(args) -> int:
         schemes=schemes, workloads=args.workload,
         accesses=args.accesses, footprint=args.footprint,
         seed=args.seed, jobs=args.jobs or (os.cpu_count() or 1),
-        cache=ResultCache(args.cache_dir) if args.cache_dir else None)
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        service=args.service)
     if args.json:
         import json
 
@@ -455,7 +481,7 @@ def cmd_explore(args) -> int:
         jobs=args.jobs or (os.cpu_count() or 1),
         cache=ResultCache(args.cache_dir) if args.cache_dir else None,
         progress=_sweep_progress if args.progress else None,
-        metrics=registry)
+        metrics=registry, service=args.service)
     import json
 
     # the report body is cache- and parallelism-independent: serial and
@@ -520,6 +546,19 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    # the service imports asyncio + the worker machinery; load lazily
+    from repro.serve.cli import run_serve
+
+    return run_serve(args)
+
+
+def cmd_submit(args) -> int:
+    from repro.serve.cli import run_submit
+
+    return run_submit(args)
+
+
 def cmd_lint(args) -> int:
     from repro.analysis.lint.main import main as lint_main
 
@@ -557,6 +596,8 @@ def main(argv: list[str] | None = None) -> int:
         "oracle": cmd_oracle,
         "explore": cmd_explore,
         "trace": cmd_trace,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
         "lint": cmd_lint,
     }[args.command]
     return handler(args)

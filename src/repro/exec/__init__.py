@@ -19,26 +19,40 @@ keeps determinism and fault-plan arming auditable in one place.
 See ``docs/orchestration.md`` for the sweep model, the cache-key
 anatomy, and the determinism guarantees.
 """
-from repro.exec.cache import ResultCache
+from repro.exec.cache import (
+    CacheBackend,
+    LocalDirBackend,
+    MemoryBackend,
+    RemoteBackend,
+    ResultCache,
+)
 from repro.exec.configio import config_from_dict, config_to_dict
 from repro.exec.pool import (
     CellOutcome,
     SweepReport,
+    decode_payload,
     execute_cell,
     run_sweep,
 )
 from repro.exec.spec import CACHE_SCHEMA, CellSpec, cell_key, code_version_tag
+from repro.exec.workers import WorkerCrew
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CacheBackend",
     "CellOutcome",
     "CellSpec",
+    "LocalDirBackend",
+    "MemoryBackend",
+    "RemoteBackend",
     "ResultCache",
     "SweepReport",
+    "WorkerCrew",
     "cell_key",
     "code_version_tag",
     "config_from_dict",
     "config_to_dict",
+    "decode_payload",
     "execute_cell",
     "run_sweep",
 ]

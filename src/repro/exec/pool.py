@@ -15,12 +15,13 @@ equal byte for byte.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.common.errors import ConfigError
-from repro.exec.cache import ResultCache
+from repro.exec.cache import CacheBackend
 from repro.exec.configio import config_from_dict
 from repro.exec.spec import CellSpec, cell_key
 
@@ -121,13 +122,20 @@ def _worker(item: tuple[int, CellSpec]) -> tuple[int, dict[str, Any], float]:
 
 @dataclass
 class CellOutcome:
-    """One finished cell: its spec, decoded value, and provenance."""
+    """One finished cell: its spec, decoded value, and provenance.
+
+    ``cached`` means the payload came from the result cache; ``deduped``
+    means it came from an identical in-flight sibling of the same sweep
+    (same key, computed once, fanned out).  At most one of the two is
+    set; a cell that was actually simulated has both False.
+    """
 
     spec: CellSpec
     value: Any
     cached: bool
     elapsed_s: float
     key: str
+    deduped: bool = False
 
 
 @dataclass
@@ -146,11 +154,16 @@ class SweepReport:
 
     @property
     def executed(self) -> int:
-        return sum(1 for o in self.outcomes if not o.cached)
+        return sum(1 for o in self.outcomes
+                   if not o.cached and not o.deduped)
 
     @property
     def cached(self) -> int:
         return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def deduped(self) -> int:
+        return sum(1 for o in self.outcomes if o.deduped)
 
     @property
     def sim_time_s(self) -> float:
@@ -166,9 +179,11 @@ ProgressFn = Callable[[int, int, CellOutcome], None]
 
 
 def run_sweep(specs: list[CellSpec], jobs: int = 1,
-              cache: ResultCache | None = None,
+              cache: CacheBackend | None = None,
               progress: ProgressFn | None = None,
-              code_version: str | None = None) -> SweepReport:
+              code_version: str | None = None,
+              service: "str | os.PathLike[str] | None" = None
+              ) -> SweepReport:
     """Execute a sweep; results come back in spec order.
 
     ``jobs`` > 1 fans the uncached cells out over a process pool; the
@@ -176,43 +191,68 @@ def run_sweep(specs: list[CellSpec], jobs: int = 1,
     fault plan in a worker can never leak across cells.  With ``jobs``
     <= 1 everything runs in-process (no pool, no pickling) — handy under
     pytest and on single-core runners.
+
+    ``service`` routes the whole sweep to a running ``repro serve``
+    instance (the value is its socket path) instead of executing
+    locally: the service owns the worker pool and the result cache, so
+    ``jobs`` and ``cache`` are ignored in that mode.  The assembled
+    report is byte-identical either way (pinned by tests/test_serve.py).
+
+    Cells sharing one cache key (identical frozen specs) are computed
+    once per sweep and the payload fanned out to every position, so a
+    batch with duplicates costs one simulation; the extra outcomes are
+    flagged ``deduped``.
     """
+    if service is not None:
+        from repro.serve.client import submit_sweep
+
+        return submit_sweep(specs, service, progress=progress,
+                            code_version=code_version)
     keys = [cell_key(spec, code_version) for spec in specs]
     outcomes: list[CellOutcome | None] = [None] * len(specs)
     done = 0
 
     def finish(index: int, payload: dict[str, Any], cached: bool,
-               elapsed: float) -> None:
+               elapsed: float, deduped: bool = False) -> None:
         nonlocal done
         outcome = CellOutcome(specs[index], decode_payload(specs[index],
                                                            payload),
-                              cached, elapsed, keys[index])
+                              cached, elapsed, keys[index],
+                              deduped=deduped)
         outcomes[index] = outcome
         done += 1
         if progress is not None:
             progress(done, len(specs), outcome)
 
-    pending: list[int] = []
+    # pending cells grouped by key: the first index of a key is the
+    # representative that actually runs; its twins wait for the payload
+    pending: dict[str, list[int]] = {}
     for i, key in enumerate(keys):
         payload = cache.get(key) if cache is not None else None
         if payload is not None:
             finish(i, payload, True, 0.0)
         else:
-            pending.append(i)
+            pending.setdefault(key, []).append(i)
 
-    if pending and jobs > 1:
-        with multiprocessing.Pool(min(jobs, len(pending))) as pool:
+    def settle(index: int, payload: dict[str, Any],
+               elapsed: float) -> None:
+        """Record a computed representative, then fan out to twins."""
+        if cache is not None:
+            cache.put(keys[index], specs[index].kind, payload)
+        finish(index, payload, False, elapsed)
+        for twin in pending[keys[index]][1:]:
+            finish(twin, payload, False, 0.0, deduped=True)
+
+    representatives = [indices[0] for indices in pending.values()]
+    if representatives and jobs > 1:
+        with multiprocessing.Pool(min(jobs, len(representatives))) as pool:
             results = pool.imap_unordered(
-                _worker, [(i, specs[i]) for i in pending])
+                _worker, [(i, specs[i]) for i in representatives])
             for index, payload, elapsed in results:
-                if cache is not None:
-                    cache.put(keys[index], specs[index].kind, payload)
-                finish(index, payload, False, elapsed)
+                settle(index, payload, elapsed)
     else:
-        for index in pending:
+        for index in representatives:
             _, payload, elapsed = _worker((index, specs[index]))
-            if cache is not None:
-                cache.put(keys[index], specs[index].kind, payload)
-            finish(index, payload, False, elapsed)
+            settle(index, payload, elapsed)
 
     return SweepReport([o for o in outcomes if o is not None])

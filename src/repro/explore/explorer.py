@@ -236,7 +236,8 @@ def run_explore(schemes: list[str] | None = None,
                 cfg: SystemConfig | None = None,
                 cache: ResultCache | None = None,
                 progress: ProgressFn | None = None,
-                metrics: "MetricRegistry | None" = None) -> ExploreSummary:
+                metrics: "MetricRegistry | None" = None,
+                service: str | None = None) -> ExploreSummary:
     """Enumerate and validate the crash space; returns the summary.
 
     ``class_budget=None`` / ``recovery_cap=None`` is full enumeration
@@ -261,7 +262,7 @@ def run_explore(schemes: list[str] | None = None,
 
     def sweep(specs: list[CellSpec]):
         report = run_sweep(specs, jobs=jobs, cache=cache,
-                           progress=progress)
+                           progress=progress, service=service)
         summary.cells_executed += report.executed
         summary.cells_cached += report.cached
         return report

@@ -140,7 +140,8 @@ def probe_fire_total(scheme: str, cfg: SystemConfig,
 def probe_spans(schemes: list[str], workloads: list[str], seed: int,
                 accesses: int, footprint: int, cfg: SystemConfig,
                 jobs: int = 1, cache: "ResultCache | None" = None,
-                progress: Any = None) -> dict[str, int]:
+                progress: Any = None,
+                service: str | None = None) -> dict[str, int]:
     """Probed fire span per ``scheme/workload`` cell, via the executor."""
     from repro.exec import CellSpec, config_to_dict, run_sweep
 
@@ -148,7 +149,8 @@ def probe_spans(schemes: list[str], workloads: list[str], seed: int,
     cfg_dict = config_to_dict(cfg)
     specs = [CellSpec("probe", s, w, accesses, footprint, seed,
                       config=cfg_dict) for s, w in cells]
-    report = run_sweep(specs, jobs=jobs, cache=cache, progress=progress)
+    report = run_sweep(specs, jobs=jobs, cache=cache, progress=progress,
+                       service=service)
     return {f"{s}/{w}": span
             for (s, w), span in zip(cells, report.values)}
 
@@ -286,20 +288,24 @@ def run_campaign(schemes: list[str], workloads: list[str],
                  accesses: int = 400, footprint: int = 2048,
                  cfg: SystemConfig | None = None,
                  jobs: int = 1, cache: "ResultCache | None" = None,
-                 progress: Any = None) -> dict[str, Any]:
+                 progress: Any = None,
+                 service: str | None = None) -> dict[str, Any]:
     """Run the full campaign; returns a JSON-serializable report.
 
     Probes and cases fan out over ``repro.exec`` (``jobs`` worker
-    processes, optional result cache).  The report is a pure function of
-    the campaign parameters: it never contains timing or worker-count
-    information, so serial and parallel runs compare byte for byte.
+    processes, optional result cache; ``service`` routes both sweeps to
+    a running ``repro serve`` socket instead).  The report is a pure
+    function of the campaign parameters: it never contains timing or
+    worker-count information, so serial, parallel, and distributed runs
+    compare byte for byte.
     """
     from repro.exec import CellSpec, config_to_dict, run_sweep
 
     if cfg is None:
         cfg = small_config(metadata_cache_bytes=2048)
     spans = probe_spans(schemes, workloads, seed, accesses, footprint,
-                        cfg, jobs=jobs, cache=cache, progress=progress)
+                        cfg, jobs=jobs, cache=cache, progress=progress,
+                        service=service)
     cases = build_cases(schemes, workloads, crashes, seed, spans)
     cfg_dict = config_to_dict(cfg)
     specs = [CellSpec("fault", case.scheme, case.workload, accesses,
@@ -309,7 +315,8 @@ def run_campaign(schemes: list[str], workloads: list[str],
                                  case.recovery_crash_after,
                              "residual_words": case.residual_words})
              for case in cases]
-    sweep = run_sweep(specs, jobs=jobs, cache=cache, progress=progress)
+    sweep = run_sweep(specs, jobs=jobs, cache=cache, progress=progress,
+                      service=service)
 
     # minimization re-runs cases in-process; traces are built on demand
     traces: dict[str, TraceArrays] = {}

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import re
 from bisect import bisect_left
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Any, Union
 
 from repro.common.errors import ConfigError
 
@@ -249,6 +249,47 @@ class MetricRegistry:
         """Deterministic (name-sorted) dump of every metric."""
         return {name: self._metrics[name].dump()
                 for name in sorted(self._metrics)}
+
+
+def registry_from_dump(dump: dict[str, dict[str, object]]
+                       ) -> MetricRegistry:
+    """Rebuild a registry from an :meth:`MetricRegistry.as_dict` dump.
+
+    The inverse of ``as_dict``: round-tripping through JSON (a metrics
+    file, or the sweep service's ``stats`` frame) yields a registry
+    whose own ``as_dict`` equals the original dump, so remote metrics
+    can be asserted on and absorbed exactly like local ones.
+    """
+    reg = MetricRegistry()
+    for name, raw in dump.items():
+        if not isinstance(raw, dict) or "type" not in raw:
+            raise ConfigError(
+                f"metric dump entry {name!r} is not a typed object")
+        entry: dict[str, Any] = raw
+        kind = entry["type"]
+        if kind == "counter":
+            reg.counter(name).inc(int(entry["value"]))
+        elif kind == "gauge":
+            reg.gauge(name).set(float(entry["value"]))
+        elif kind == "histogram":
+            bounds = tuple(float(b) for b in entry["bounds"])
+            hist = reg.histogram(name, bounds)
+            counts = [int(c) for c in entry["bucket_counts"]]
+            if len(counts) != len(hist.bucket_counts):
+                raise ConfigError(
+                    f"histogram {name!r} dump has {len(counts)} buckets "
+                    f"for {len(hist.bounds)} bounds")
+            hist.bucket_counts = counts
+            hist.count = int(entry["count"])
+            hist.total = float(entry["total"])
+        elif kind == "window":
+            series = reg.window(name, float(entry["window_ns"]))
+            for index, count in entry["series"]:
+                series.buckets[int(index)] = int(count)
+        else:
+            raise ConfigError(
+                f"metric dump entry {name!r} has unknown type {kind!r}")
+    return reg
 
 
 def system_registry(system: "SecureNVMSystem",

@@ -248,7 +248,8 @@ def run_oracle_suite(schemes: list[str] | None = None,
                      seed: int = 2024, jobs: int = 1,
                      cfg: SystemConfig | None = None,
                      cache: ResultCache | None = None,
-                     progress: ProgressFn | None = None) -> SuiteSummary:
+                     progress: ProgressFn | None = None,
+                     service: str | None = None) -> SuiteSummary:
     """Plan and execute the differential suite; returns the tally."""
     schemes = list(schemes) if schemes else sorted(SCHEMES)
     workloads = list(workloads) if workloads else ["pers_hash"]
@@ -256,7 +257,8 @@ def run_oracle_suite(schemes: list[str] | None = None,
         cfg = small_config(metadata_cache_bytes=2048)
     specs = build_suite(schemes, workloads, accesses, footprint, seed,
                         cfg)
-    report = run_sweep(specs, jobs=jobs, cache=cache, progress=progress)
+    report = run_sweep(specs, jobs=jobs, cache=cache, progress=progress,
+                       service=service)
     tally = SuiteSummary(schemes=schemes, workloads=workloads)
     for outcome in report.outcomes:
         tally.add(outcome.spec, outcome.value, outcome.cached)

@@ -1,0 +1,51 @@
+"""repro.serve — the distributed sweep service.
+
+``repro serve`` runs an asyncio service over a unix socket that
+executes :class:`~repro.exec.spec.CellSpec` batches on a crew of
+crash-tolerant worker processes, deduplicates identical in-flight
+cells globally, and answers from the shared content-addressed cache —
+while keeping reports byte-identical to serial ``run_sweep``.  See
+docs/orchestration.md for the architecture and the determinism
+argument.
+
+This package is the only place in the tree allowed to import socket or
+asyncio machinery (simlint SL901); callers reach it through
+``run_sweep(..., service=<socket path>)`` or the ``repro submit`` CLI.
+
+Attributes resolve lazily (PEP 562) so that importing a light
+submodule — the CLI reads :data:`DEFAULT_SOCKET` at parser-build time —
+does not drag in asyncio and the worker-process machinery.
+"""
+from __future__ import annotations
+
+from typing import Any
+
+from repro.serve.protocol import DEFAULT_SOCKET, PROTOCOL_VERSION, \
+    ProtocolError
+
+_LAZY = {
+    "ServiceClient": "repro.serve.client",
+    "ServiceError": "repro.serve.client",
+    "submit_sweep": "repro.serve.client",
+    "SweepService": "repro.serve.service",
+}
+
+__all__ = [
+    "DEFAULT_SOCKET",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "SweepService",
+    "submit_sweep",
+]
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.serve' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,20 @@
+"""Fixture: the service package itself may import sockets — silent.
+
+Lives under a ``serve/`` directory to mirror ``repro/serve``, which is
+how SL901 scopes its exemption.
+"""
+import asyncio
+import socket
+from selectors import DefaultSelector
+
+
+async def accept_frames(path, on_frame):
+    server = await asyncio.start_unix_server(on_frame, path=path)
+    async with server:
+        await server.serve_forever()
+
+
+def probe(path):
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.connect(path)
+    return DefaultSelector()

@@ -1,0 +1,17 @@
+"""Fixture: network/event-loop I/O outside repro.serve (SL901)."""
+import socket                                   # SL901: bare import
+import asyncio                                  # SL901: event loop
+import selectors                                # SL901: selector loop
+from socket import AF_UNIX, SOCK_STREAM         # SL901: from-import
+from asyncio import StreamReader                # SL901: from-import
+
+
+def side_channel(path, payload):
+    sock = socket.socket(AF_UNIX, SOCK_STREAM)
+    sock.connect(path)
+    sock.sendall(payload)
+    return sock.recv(4096)
+
+
+async def adhoc_loop(reader: StreamReader):
+    return await reader.readline()

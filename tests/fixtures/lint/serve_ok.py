@@ -1,0 +1,13 @@
+"""Fixture: distribution routed through the service — no diagnostics."""
+from repro.exec import CellSpec, run_sweep
+
+
+def distributed_sweep(variants, workload, socket_path):
+    specs = [CellSpec("sim", v, workload, 1000, 4096, 1)
+             for v in variants]
+    return run_sweep(specs, service=socket_path).values
+
+
+def socket_unrelated(paths):                    # plain identifiers: fine
+    socket = len(paths)
+    return socket

@@ -95,6 +95,50 @@ class TestWarmCache:
         assert "4 cells, 2 simulated, 2 cached" in mixed.summary()
 
 
+class TestInFlightDedup:
+    """Satellite: duplicate specs inside one sweep compute exactly once."""
+
+    def test_duplicates_compute_once_and_fan_out(self):
+        specs = matrix()[:2]
+        batch = [specs[0], specs[1], specs[0], specs[0]]
+        report = run_sweep(batch)
+        assert report.executed == 2
+        assert report.deduped == 2
+        assert report.cached == 0
+        prints = fingerprints(report)
+        assert prints[0] == prints[2] == prints[3]
+
+    def test_dedup_outcomes_match_distinct_runs_bitwise(self):
+        specs = matrix()[:2]
+        batch = [specs[0], specs[1], specs[0]]
+        deduped = fingerprints(run_sweep(batch, jobs=2))
+        alone = fingerprints(run_sweep(specs))
+        assert deduped == [alone[0], alone[1], alone[0]]
+
+    def test_dedup_provenance_flags(self):
+        spec = matrix()[0]
+        report = run_sweep([spec, spec])
+        first, twin = report.outcomes
+        assert not first.cached and not first.deduped
+        assert twin.deduped and not twin.cached
+        assert twin.elapsed_s == 0.0
+        assert "2 cells, 1 simulated" in report.summary()
+
+    def test_cache_hits_beat_dedup(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = matrix()[0]
+        run_sweep([spec], cache=cache)
+        warm = run_sweep([spec, spec], cache=cache)
+        assert warm.cached == 2 and warm.deduped == 0
+
+    def test_progress_fires_for_twins_too(self):
+        spec = matrix()[0]
+        seen = []
+        run_sweep([spec, spec, spec],
+                  progress=lambda done, total, out: seen.append(done))
+        assert seen == [1, 2, 3]
+
+
 class TestProgress:
     def test_callback_sees_every_cell_once(self):
         seen = []

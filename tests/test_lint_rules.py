@@ -208,6 +208,30 @@ class TestExploreRule:
         assert run_lint([str(copy)]).diagnostics == []
 
 
+class TestServeRule:
+    def test_flags_every_network_import_form(self):
+        result = lint("serve_bad.py")
+        assert hits(result) == [
+            ("SL901", 2),   # import socket
+            ("SL901", 3),   # import asyncio
+            ("SL901", 4),   # import selectors
+            ("SL901", 5),   # from socket import ...
+            ("SL901", 6),   # from asyncio import ...
+        ]
+        assert result.exit_code() == 1
+
+    def test_service_package_and_service_callers_are_silent(self):
+        assert lint("serve/service_ok.py").diagnostics == []
+        assert lint("serve_ok.py").diagnostics == []
+
+    def test_reasoned_suppression_path(self, tmp_path):
+        copy = tmp_path / "special.py"
+        copy.write_text(
+            "# simlint: disable-next=SL901 -- test: sanctioned I/O\n"
+            "import socket\n")
+        assert run_lint([str(copy)]).diagnostics == []
+
+
 class TestSuppressions:
     def test_reasoned_directives_silence_by_id_and_name(self):
         assert lint("suppress_reasoned.py").diagnostics == []
