@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast coverage lint simlint ruff mypy faults-smoke \
-	sweep-smoke trace-smoke oracle-smoke explore-smoke serve-smoke all
+	sweep-smoke trace-smoke oracle-smoke explore-smoke serve-smoke \
+	bench-core all
 
 all: lint test
 
@@ -72,6 +73,16 @@ serve-smoke:
 	rm -rf .serve-smoke && mkdir -p .serve-smoke
 	$(PYTHON) tools/serve_bench.py BENCH_sweep.json .serve-smoke/cache
 	rm -rf .serve-smoke
+
+# core-simulator throughput (accesses/sec per scheme, recovery
+# sims/sec, explore candidates/sec) against the checked-in trajectory
+# baseline; writes BENCH_core.json and fails on a >20% decay — see
+# docs/performance.md
+bench-core:
+	$(PYTHON) benchmarks/bench_core_throughput.py \
+		--out BENCH_core.json \
+		--trajectory benchmarks/results/BENCH_core_baseline.json \
+		--fail-on-regression 0.20
 
 # differential conformance suite: every scheme against the reference
 # model — clean runs, a crash at every injection point the scheme

@@ -1,0 +1,233 @@
+# simlint: disable-file=SL102 -- wall-clock measurement is the entire point of a throughput bench
+"""Core-simulator throughput bench: the perf trajectory anchor.
+
+Measures the three rates every later optimization PR is judged against
+(docs/performance.md):
+
+* ``accesses_per_sec``            — per (variant, workload) cell: the
+  per-access hot path through ``repro.mem.hierarchy`` ->
+  ``repro.sim.clock`` -> controller walk -> ``repro.nvm``,
+* ``recovery_sims_per_sec``       — repeated ``crash_and_recover`` of a
+  warmed steins-gc system (the fast-recovery claim, exercised), and
+* ``explore_candidates_per_sec``  — ``repro.explore`` crash-space
+  enumeration, the most orchestration-heavy consumer.
+
+The workload parameters are deliberately cache-hostile (footprint 8192
+blocks vs a 1024-line LLC and a 256-line metadata cache): throughput is
+dominated by the secure-fetch walk, which is exactly the path the
+optimizations target.  All simulated results stay byte-identical across
+optimization PRs (``tests/test_golden_stats.py``); this bench only
+tracks how fast those identical numbers are produced.
+
+Usage (see also ``make bench-core``):
+
+    python benchmarks/bench_core_throughput.py --out BENCH_core.json
+    python benchmarks/bench_core_throughput.py --src /path/to/prepr/src \
+        --out BENCH_core_prepr.json          # measure another checkout
+    python benchmarks/bench_core_throughput.py \
+        --baseline BENCH_core_prepr.json --fail-on-regression 0.20
+
+``--baseline`` adds a ``speedup`` section (current rate / baseline rate
+per metric); ``--fail-on-regression F`` exits non-zero when any family
+geomean falls below ``1 - F`` of the baseline.  ``--trajectory`` checks
+the *speedup* geomeans against a checked-in BENCH_core_baseline.json —
+a machine-independent ratchet: CI measures the pre-PR ref in the same
+job, so "the optimization still delivers what it delivered when it
+landed" is testable on any runner speed.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: the measured grid: every variant, one read-heavy and one write-heavy
+#: SPEC-derived profile
+WORKLOADS = ("mcf_r", "libquantum")
+
+
+def geomean(values) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def run_suite(accesses: int, footprint: int, seed: int,
+              recovery_sims: int) -> dict:
+    # imported late so --src can repoint the measured tree first
+    from repro.common.config import small_config
+    from repro.explore import run_explore
+    from repro.sim.crash import crash_and_recover
+    from repro.sim.runner import (
+        VARIANTS,
+        RunSpec,
+        make_system,
+        run_cell,
+        run_trace,
+    )
+    from repro.workloads import get_profile
+
+    out: dict = {
+        "schema": "bench-core/v1",
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "params": {
+            "accesses": accesses,
+            "footprint_blocks": footprint,
+            "seed": seed,
+            "recovery_sims": recovery_sims,
+            "explore": {"accesses": 40, "footprint": 256, "seed": 2025},
+        },
+        "accesses_per_sec": {},
+    }
+
+    for variant in VARIANTS:
+        for workload in WORKLOADS:
+            spec = RunSpec(variant=variant, workload=workload,
+                           accesses=accesses, footprint_blocks=footprint,
+                           seed=seed)
+            cfg = small_config()
+            t0 = time.perf_counter()
+            run_cell(spec, cfg)
+            dt = time.perf_counter() - t0
+            out["accesses_per_sec"][f"{variant}/{workload}"] = \
+                round(accesses / dt, 1)
+    out["accesses_per_sec_geomean"] = \
+        round(geomean(out["accesses_per_sec"].values()), 1)
+
+    system = make_system("steins-gc", small_config())
+    profile = get_profile("mcf_r")
+    trace = profile.generate(11, 3000, 2048)
+    run_trace(system, trace, "mcf_r", flush_writes=profile.persistent)
+    t0 = time.perf_counter()
+    for _ in range(recovery_sims):
+        crash_and_recover(system)
+    out["recovery_sims_per_sec"] = \
+        round(recovery_sims / (time.perf_counter() - t0), 1)
+
+    t0 = time.perf_counter()
+    summary = run_explore(accesses=40, footprint=256, seed=2025)
+    dt = time.perf_counter() - t0
+    out["explore_candidates_per_sec"] = round(summary.explored_total / dt, 1)
+    out["explore_total"] = summary.explored_total
+    return out
+
+
+#: family geomeans the regression gates operate on
+def _family_rates(result: dict) -> dict[str, float]:
+    return {
+        "accesses_per_sec_geomean": result["accesses_per_sec_geomean"],
+        "recovery_sims_per_sec": result["recovery_sims_per_sec"],
+        "explore_candidates_per_sec": result["explore_candidates_per_sec"],
+    }
+
+
+def add_speedup(result: dict, baseline: dict, baseline_path: str) -> None:
+    per_cell = {}
+    base_cells = baseline.get("accesses_per_sec", {})
+    for cell, rate in result["accesses_per_sec"].items():
+        if base_cells.get(cell):
+            per_cell[cell] = round(rate / base_cells[cell], 2)
+    speedup = {"baseline": baseline_path, "accesses_per_sec": per_cell}
+    for family, rate in _family_rates(result).items():
+        base = baseline.get(family)
+        if base:
+            speedup[family] = round(rate / base, 2)
+    result["speedup"] = speedup
+
+
+def check_regression(result: dict, baseline: dict, tolerance: float,
+                     label: str) -> list[str]:
+    """Family rates must stay within ``tolerance`` of the baseline."""
+    failures = []
+    for family, rate in _family_rates(result).items():
+        base = baseline.get(family)
+        if base and rate < (1.0 - tolerance) * base:
+            failures.append(
+                f"{family}: {rate:.1f} < {(1 - tolerance):.0%} of "
+                f"{label} {base:.1f}")
+    return failures
+
+
+def check_trajectory(result: dict, checked_in: dict,
+                     tolerance: float) -> list[str]:
+    """Speedup-vs-pre-PR geomeans must not decay vs the checked-in ones.
+
+    Ratios of two same-machine measurements are runner-speed
+    independent, so this gate is stable across heterogeneous CI hosts.
+    """
+    current = result.get("speedup", {})
+    pinned = checked_in.get("speedup", {})
+    failures = []
+    for family in ("accesses_per_sec_geomean", "recovery_sims_per_sec",
+                   "explore_candidates_per_sec"):
+        cur, ref = current.get(family), pinned.get(family)
+        if cur and ref and cur < (1.0 - tolerance) * ref:
+            failures.append(
+                f"speedup {family}: {cur:.2f}x < {(1 - tolerance):.0%} "
+                f"of checked-in {ref:.2f}x")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
+    parser.add_argument("--src", default=str(REPO_ROOT / "src"),
+                        help="source tree to measure (point at a worktree "
+                             "of the pre-PR ref to produce a baseline)")
+    parser.add_argument("--out", default="BENCH_core.json")
+    parser.add_argument("--baseline", metavar="JSON",
+                        help="earlier BENCH_core.json; adds the speedup "
+                             "section and enables --fail-on-regression")
+    parser.add_argument("--trajectory", metavar="JSON",
+                        help="checked-in BENCH_core_baseline.json; fails "
+                             "when current speedups decay below it")
+    parser.add_argument("--fail-on-regression", type=float, default=None,
+                        metavar="FRACTION",
+                        help="tolerated fractional drop (e.g. 0.20)")
+    parser.add_argument("--accesses", type=int, default=20000)
+    parser.add_argument("--footprint", type=int, default=8192)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--recovery-sims", type=int, default=60)
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, args.src)
+    result = run_suite(args.accesses, args.footprint, args.seed,
+                       args.recovery_sims)
+
+    failures: list[str] = []
+    tolerance = args.fail_on_regression
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        add_speedup(result, baseline, args.baseline)
+        if tolerance is not None:
+            failures += check_regression(result, baseline, tolerance,
+                                         f"baseline {args.baseline}")
+    if args.trajectory:
+        checked_in = json.loads(Path(args.trajectory).read_text())
+        if tolerance is None:
+            tolerance = 0.20
+        if "speedup" in result:
+            failures += check_trajectory(result, checked_in, tolerance)
+        else:
+            failures += check_regression(result, checked_in, tolerance,
+                                         f"checked-in {args.trajectory}")
+
+    Path(args.out).write_text(json.dumps(result, indent=2, sort_keys=True)
+                              + "\n")
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if failures:
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,5 +26,6 @@ from repro.analysis.lint.rules import (  # noqa: F401  -- registration
     orchestration,
     persist,
     serve,
+    simtime,
     stats,
 )

@@ -1,0 +1,188 @@
+"""Simulated-time exactness rule (the PR-9 float-drift bugfix, frozen).
+
+Simulated time is bookkept in **integer picoseconds** end-to-end
+(:mod:`repro.common.units`): integer sums are associative, which is what
+makes a batched or event-driven hot path provably byte-identical to the
+per-access one.  The historical bug this rule fossilizes: ``MemClock``
+accumulated ``now`` as a float of nanoseconds, so reordering the very
+same latency contributions changed the low bits of every latency stat —
+"refactored stats byte-identical to seed" was unprovable by
+construction.
+
+SL202 ``float-simulated-time`` (ERROR) flags, inside the ``sim`` /
+``nvm`` / ``mem`` / ``core`` packages:
+
+* ``float`` annotations on parameters, returns, or class fields whose
+  names are simulated-time quantities (``*_ps``, ``*_ns``,
+  ``*_cycles``, ``now``, ``latency``, ...),
+* ``float(...)`` conversions of such names,
+* true division ``/`` involving such names (exactness-losing),
+* float literals in arithmetic with such names.
+
+Exempt, because they are the sanctioned *reporting boundary* where
+exact picoseconds become human-readable nanosecond floats:
+
+* ``@property`` / ``@cached_property`` bodies (e.g. ``MemClock.now_ns``,
+  the ``*_ns`` views on ``TimingStats``),
+* classes named ``*Result`` / ``*Report`` (frozen metric carriers).
+
+Float-domain *analysis* helpers (e.g. lifetime estimates in
+``repro.core.countergen``) carry an explicit reasoned suppression — the
+float there is a modelling choice, which is exactly what suppressions
+are for.
+"""
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.diagnostics import Diagnostic, Severity
+from repro.analysis.lint.registry import (
+    FileUnit,
+    ProjectContext,
+    Rule,
+    register,
+)
+
+_SCOPED_DIRS = frozenset({"sim", "nvm", "mem", "core"})
+
+#: suffixes marking a name as a simulated-time quantity
+_TIME_SUFFIXES = ("_ps", "_ns", "_cycles")
+#: bare names that denote simulated time without a unit suffix
+_TIME_NAMES = frozenset({
+    "now", "cycles", "ps", "ns", "gap", "latency", "duration", "deadline",
+})
+
+
+def _is_time_name(name: str | None) -> bool:
+    if not name:
+        return False
+    return name.endswith(_TIME_SUFFIXES) or name in _TIME_NAMES
+
+
+def _leaf_name(node: ast.AST) -> str | None:
+    """Trailing identifier of a Name/Attribute expression."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _annotation_is_float(node: ast.AST | None) -> bool:
+    """Whether an annotation resolves to float (incl. ``float | None``
+    unions and stringified annotations)."""
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "float":
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str) \
+                and "float" in sub.value:
+            return True
+    return False
+
+
+@register
+class FloatSimulatedTimeRule(Rule):
+    id = "SL202"
+    name = "float-simulated-time"
+    severity = Severity.ERROR
+    description = ("float annotations / conversions / division on "
+                   "simulated-time quantities in the hot simulation core")
+    invariant = ("simulated time is exact integer picoseconds everywhere "
+                 "except @property / *Result reporting views; batched and "
+                 "per-access execution therefore sum to identical stats")
+    paper = "exactness prerequisite for Sec. IV timing comparisons"
+
+    def check(self, unit: FileUnit,
+              project: ProjectContext) -> Iterator[Diagnostic]:
+        if not (_SCOPED_DIRS & set(unit.parts[:-1])):
+            return
+        exempt = self._reporting_spans(unit.tree)
+        for node in ast.walk(unit.tree):
+            line = getattr(node, "lineno", None)
+            if line is None or self._in_spans(line, exempt):
+                continue
+            yield from self._check_node(unit, node)
+
+    # ------------------------------------------------------- per-node
+    def _check_node(self, unit: FileUnit,
+                    node: ast.AST) -> Iterator[Diagnostic]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                        *((args.vararg,) if args.vararg else ()),
+                        *((args.kwarg,) if args.kwarg else ())):
+                if _is_time_name(arg.arg) \
+                        and _annotation_is_float(arg.annotation):
+                    yield self.diag(unit, arg, (
+                        f"parameter {arg.arg!r} is simulated time but "
+                        "annotated float; pass exact integer ps/cycles "
+                        "(convert at the reporting boundary only)"))
+            if _is_time_name(node.name) \
+                    and not node.name.endswith("_ns") \
+                    and _annotation_is_float(node.returns):
+                yield self.diag(unit, node, (
+                    f"function {node.name!r} returns simulated time as "
+                    "float; return exact integer ps/cycles"))
+        elif isinstance(node, ast.AnnAssign):
+            if _is_time_name(_leaf_name(node.target)) \
+                    and _annotation_is_float(node.annotation):
+                yield self.diag(unit, node, (
+                    f"field {_leaf_name(node.target)!r} holds simulated "
+                    "time as float; store exact integer ps/cycles "
+                    "(or move it into a *Result/*Report reporting class)"))
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Name) \
+                and node.func.id == "float" \
+                and node.args \
+                and _is_time_name(_leaf_name(node.args[0])):
+            yield self.diag(unit, node, (
+                "float(...) of a simulated-time value; keep ps/cycles "
+                "exact and convert only in reporting views"))
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div) \
+                and (_is_time_name(_leaf_name(node.left))
+                     or _is_time_name(_leaf_name(node.right))):
+            yield self.diag(unit, node, (
+                "true division on simulated time loses exactness; use "
+                "'//' on integer ps (ceil: -(-a // b))"))
+        elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Div) \
+                and _is_time_name(_leaf_name(node.target)):
+            yield self.diag(unit, node, (
+                "'/=' on simulated time loses exactness; use '//=' on "
+                "integer ps"))
+        elif isinstance(node, ast.BinOp) \
+                and isinstance(node.op, (ast.Mult, ast.Add, ast.Sub)):
+            for side, other in ((node.left, node.right),
+                                (node.right, node.left)):
+                if isinstance(side, ast.Constant) \
+                        and type(side.value) is float \
+                        and _is_time_name(_leaf_name(other)):
+                    yield self.diag(unit, node, (
+                        f"float literal {side.value!r} in arithmetic with "
+                        "a simulated-time value; use exact integers"))
+                    break
+
+    # ------------------------------------------------------ exemptions
+    @staticmethod
+    def _reporting_spans(tree: ast.Module) -> list[tuple[int, int]]:
+        """Line ranges of sanctioned ps->ns reporting boundaries."""
+        spans = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) \
+                    and node.name.endswith(("Result", "Report")):
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for deco in node.decorator_list:
+                    name = deco.attr if isinstance(deco, ast.Attribute) \
+                        else deco.id if isinstance(deco, ast.Name) else None
+                    if name in ("property", "cached_property"):
+                        spans.append(
+                            (node.lineno, node.end_lineno or node.lineno))
+                        break
+        return spans
+
+    @staticmethod
+    def _in_spans(line: int, spans: list[tuple[int, int]]) -> bool:
+        return any(lo <= line <= hi for lo, hi in spans)

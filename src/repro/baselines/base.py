@@ -24,15 +24,20 @@ import sys
 from dataclasses import dataclass, field
 
 from repro.common.config import CounterMode, SystemConfig, UpdateScheme
-from repro.common.errors import RecoveryError, TamperDetectedError
-from repro.counters import OverflowPolicy
+from repro.common.errors import ConfigError, RecoveryError, TamperDetectedError
+from repro.common.units import ns_from_ps
+from repro.counters import (
+    GeneralCounterBlock,
+    OverflowPolicy,
+    SplitCounterBlock,
+)
 from repro.counters.base import IncrementResult
 from repro.crypto import cme
 from repro.crypto.engine import HashEngine, make_engine
 from repro.faults.registry import fire
 from repro.integrity.geometry import TreeGeometry, geometry_for
 from repro.integrity.metacache import MetadataCache
-from repro.integrity.node import SITNode, make_empty_node
+from repro.integrity.node import SITNode
 from repro.integrity.sit import SITRoot, verify_node
 from repro.nvm.device import NVMDevice
 from repro.nvm.layout import Region
@@ -67,14 +72,31 @@ class ControllerStats:
 
     data_reads: int = 0
     data_writes: int = 0
-    read_latency_ns: float = 0.0
-    write_latency_ns: float = 0.0
-    max_read_latency_ns: float = 0.0
-    max_write_latency_ns: float = 0.0
+    read_latency_ps: int = 0
+    write_latency_ps: int = 0
+    max_read_latency_ps: int = 0
+    max_write_latency_ps: int = 0
     metadata_fetches: int = 0
     metadata_writebacks: int = 0
     reencrypted_blocks: int = 0
     extra: dict[str, int] = field(default_factory=dict)
+
+    # Reporting boundary: ns views of the exact ps accumulators.
+    @property
+    def read_latency_ns(self) -> float:
+        return ns_from_ps(self.read_latency_ps)
+
+    @property
+    def write_latency_ns(self) -> float:
+        return ns_from_ps(self.write_latency_ps)
+
+    @property
+    def max_read_latency_ns(self) -> float:
+        return ns_from_ps(self.max_read_latency_ps)
+
+    @property
+    def max_write_latency_ns(self) -> float:
+        return ns_from_ps(self.max_write_latency_ps)
 
     @property
     def avg_read_ns(self) -> float:
@@ -138,6 +160,22 @@ class SecureMemoryController:
         self._crashed = False
         #: dirty victims between removal and persist (see ``_install``)
         self._inflight: dict[int, SITNode] = {}
+        # Geometry scalars flattened into locals of the fetch walk: the
+        # walk runs several times per LLC miss, and the checked geometry
+        # helpers (validated (level, index) on every call) dominated it.
+        # All walk-internal identities derive from validated data-block
+        # addresses, so the checks are redundant there.
+        g = self.geometry
+        self._top_level = g.top_level
+        self._arity = g.arity
+        self._leaf_cov = g.leaf_coverage
+        self._num_blocks = cfg.num_data_blocks
+        self._level_offs = tuple(
+            g.node_offset(lv, 0) for lv in range(g.num_levels))
+        #: (level, index) -> sealed all-zero HMAC; the canonical empty
+        #: node is deterministic per identity, so re-fetches of untouched
+        #: tree regions skip the digest (bit-identical by construction)
+        self._empty_hmacs: dict[tuple[int, int], int] = {}
 
     # ------------------------------------------------------------ hooks
     def _leaf_overflow_policy(self) -> OverflowPolicy:
@@ -167,11 +205,12 @@ class SecureMemoryController:
         """Handle a dirty data-block eviction from the LLC (Sec. III-F)."""
         self._check_alive()
         fire("controller.write")
-        t0 = self.clock.now
-        g = self.geometry
-        leaf_index = g.leaf_for_block(block_addr)
-        slot = g.leaf_slot_for_block(block_addr)
-        leaf_offset = g.node_offset(0, leaf_index)
+        t0 = self.clock.now_ps
+        if not 0 <= block_addr < self._num_blocks:
+            raise ConfigError(f"data block {block_addr} out of range")
+        leaf_index = block_addr // self._leaf_cov
+        slot = block_addr - leaf_index * self._leaf_cov
+        leaf_offset = self._level_offs[0] + leaf_index
         leaf = self._ensure_node(0, leaf_index)
 
         result = leaf.block.increment(slot)
@@ -197,23 +236,24 @@ class SecureMemoryController:
         done = self.clock.nvm_write(
             Region.DATA, block_addr, ("data", cipher, hmac, counter))
         self.stats.data_writes += 1
-        latency = max(done, self.clock.now) - t0
-        self.stats.write_latency_ns += latency
-        if latency > self.stats.max_write_latency_ns:
-            self.stats.max_write_latency_ns = latency
+        latency = max(done, self.clock.now_ps) - t0
+        self.stats.write_latency_ps += latency
+        if latency > self.stats.max_write_latency_ps:
+            self.stats.max_write_latency_ps = latency
         if self.tracer.enabled:
             self.tracer.metrics.histogram(
-                "ctrl.write.latency_ns").observe(latency)
+                "ctrl.write.latency_ns").observe(ns_from_ps(latency))
 
     def read_data(self, block_addr: int) -> int:
         """Handle an LLC demand miss: fetch, decrypt, verify (Sec. III-F)."""
         self._check_alive()
         fire("controller.read")
-        t0 = self.clock.now
+        t0 = self.clock.now_ps
         self._pre_read()
-        g = self.geometry
-        leaf = self._ensure_node(0, g.leaf_for_block(block_addr))
-        counter = leaf.block.counter(g.leaf_slot_for_block(block_addr))
+        if not 0 <= block_addr < self._num_blocks:
+            raise ConfigError(f"data block {block_addr} out of range")
+        leaf = self._ensure_node(0, block_addr // self._leaf_cov)
+        counter = leaf.block.counter(block_addr % self._leaf_cov)
 
         # The data fetch overlaps OTP generation (CME's latency hiding).
         value, done_data = self.clock.nvm_read_overlapped(
@@ -223,13 +263,13 @@ class SecureMemoryController:
 
         plaintext = self._decrypt_and_verify(block_addr, counter, value)
         self.stats.data_reads += 1
-        latency = self.clock.now - t0
-        self.stats.read_latency_ns += latency
-        if latency > self.stats.max_read_latency_ns:
-            self.stats.max_read_latency_ns = latency
+        latency = self.clock.now_ps - t0
+        self.stats.read_latency_ps += latency
+        if latency > self.stats.max_read_latency_ps:
+            self.stats.max_read_latency_ps = latency
         if self.tracer.enabled:
             self.tracer.metrics.histogram(
-                "ctrl.read.latency_ns").observe(latency)
+                "ctrl.read.latency_ns").observe(ns_from_ps(latency))
         return plaintext
 
     def _decrypt_and_verify(self, block_addr: int, counter: int,
@@ -288,7 +328,7 @@ class SecureMemoryController:
         The verification walk recurses to the first cached ancestor (or
         the root register), exactly as described in Sec. II-C.
         """
-        offset = self.geometry.node_offset(level, index)
+        offset = self._level_offs[level] + index
         node = self.metacache.lookup(offset)
         if node is not None:
             self.clock.sram_op()
@@ -312,8 +352,7 @@ class SecureMemoryController:
             return node
         snap = self.clock.nvm_read(Region.TREE, offset)
         if snap is None:
-            node = make_empty_node(level, index, self._leaf_split,
-                                   self.engine, self._overflow_policy)
+            node = self._empty_node(level, index)
         else:
             node = SITNode.from_snapshot(snap)
             if node.is_leaf and hasattr(node.block, "policy"):
@@ -329,13 +368,34 @@ class SecureMemoryController:
         cached = self.metacache.peek(offset)
         return cached if cached is not None else node
 
+    def _empty_node(self, level: int, index: int) -> SITNode:
+        """Canonical all-zero node for (level, index), seal memoized.
+
+        Identical in content to :func:`make_empty_node`; the sealed HMAC
+        is deterministic per node identity, so it is computed once and
+        reused across the many re-fetches of untouched tree regions.
+        """
+        if level == 0 and self._leaf_split:
+            block: GeneralCounterBlock | SplitCounterBlock = \
+                SplitCounterBlock(policy=self._overflow_policy)
+        else:
+            block = GeneralCounterBlock()
+        node = SITNode(level, index, block)
+        hm = self._empty_hmacs.get((level, index))
+        if hm is None:
+            node.seal(self.engine, parent_counter=0)
+            self._empty_hmacs[(level, index)] = node.hmac
+        else:
+            node.hmac = hm
+        return node
+
     def _parent_counter(self, level: int, index: int) -> int:
         """Counter covering (level, index) from its parent or the root."""
-        parent = self.geometry.parent(level, index)
-        slot = self.geometry.parent_slot(level, index)
-        if parent is None:
-            return self.root.counter(slot)
-        return self._ensure_node(*parent).counter(slot)
+        if level == self._top_level:
+            return self.root.counter(index)
+        arity = self._arity
+        return self._ensure_node(level + 1, index // arity) \
+            .counter(index % arity)
 
     def _install(self, offset: int, node: SITNode, dirty: bool,
                  refresh_on_flush: bool = False) -> None:
@@ -473,15 +533,14 @@ class SecureMemoryController:
 
     def _bump_parent(self, node: SITNode) -> int:
         """Self-increment the parent counter for ``node``; returns it."""
-        g = self.geometry
-        slot = g.parent_slot(node.level, node.index)
-        parent = g.parent(node.level, node.index)
+        level, index = node.level, node.index
         self.clock.alu_op()
-        if parent is None:
-            self.root.add(slot, 1)
-            return self.root.counter(slot)
-        pnode = self._ensure_node(*parent)
-        poff = g.node_offset(*parent)
+        if level == self._top_level:
+            self.root.add(index, 1)
+            return self.root.counter(index)
+        pindex, slot = divmod(index, self._arity)
+        pnode = self._ensure_node(level + 1, pindex)
+        poff = self._level_offs[level + 1] + pindex
         pnode.block.set_counter(slot, pnode.counter(slot) + 1)
         if self.metacache.contains(poff):
             self._mark_dirty(poff, pnode)
@@ -493,7 +552,7 @@ class SecureMemoryController:
     def _persist_node(self, node: SITNode) -> None:
         self.clock.nvm_write(
             Region.TREE,
-            self.geometry.node_offset(node.level, node.index),
+            self._level_offs[node.level] + node.index,
             node.snapshot())
         self.stats.metadata_writebacks += 1
 

@@ -89,7 +89,7 @@ class SCUEController(SecureMemoryController):
         without Steins' NV buffer: an uncached parent is fetched on the
         write path, as in WB."""
         generated = node.gensum()
-        self.clock.alu_op(cycles_each=2.0)
+        self.clock.alu_op(cycles_each=2)
         self.clock.hash_op()
         node.seal(self.engine, generated)
         self._persist_node(node)

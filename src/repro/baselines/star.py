@@ -181,7 +181,7 @@ class STARController(SecureMemoryController):
         entries = [(off, node) for off, node, dirty
                    in self.metacache.set_entries(set_idx) if dirty]
         # the sort the paper calls out: cheap ALU work per update
-        self.clock.alu_op(n=max(1, len(entries)), cycles_each=2.0)
+        self.clock.alu_op(n=max(1, len(entries)), cycles_each=2)
         mac = self._set_mac(entries)
         # like ASIT's cache-tree, the combine chain pipelines behind the
         # accompanying NVM write; the set-MAC hash itself serializes

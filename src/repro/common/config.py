@@ -17,7 +17,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.common import constants as C
 from repro.common.errors import ConfigError
-from repro.common.units import GB, KB, MB
+from repro.common.units import GB, KB, MB, ps_from_ns
 
 
 class CounterMode(enum.Enum):
@@ -120,6 +120,35 @@ class NVMTimingConfig:
         """Full PCM cell write (tWR dominates; paper assumes 300 ns)."""
         return self.twr_ns
 
+    # Exact simulated-time units: the ns figures above are the human
+    # configuration surface; the simulator itself runs on these integer
+    # picosecond values (converted once, at configuration time).
+    @property
+    def read_miss_ps(self) -> int:
+        """Row-buffer-miss read latency in exact picoseconds."""
+        return ps_from_ns(self.trcd_ns) + ps_from_ns(self.tcl_ns)
+
+    @property
+    def read_hit_ps(self) -> int:
+        """Row-buffer-hit read latency in exact picoseconds."""
+        return ps_from_ns(self.row_hit_read_ns)
+
+    @property
+    def write_ps(self) -> int:
+        """Full PCM cell write (tWR) in exact picoseconds."""
+        return ps_from_ns(self.twr_ns)
+
+    @property
+    def channel_hold_ps(self) -> int:
+        """Shared-channel occupancy of one posted write.
+
+        With multiple banks absorbing cell writes concurrently, the
+        channel is held for tWR / banks (floor division: the exact-time
+        discipline resolves any sub-ps remainder deterministically, once,
+        here).
+        """
+        return self.write_ps // self.bank_parallelism
+
 
 @dataclass(frozen=True)
 class EnergyConfig:
@@ -216,6 +245,10 @@ class SystemConfig:
             raise ConfigError("NVM capacity must be line-aligned")
         if self.clock_ghz <= 0:
             raise ConfigError("clock must be positive")
+        if ps_from_ns(1.0 / self.clock_ghz) < 1:
+            raise ConfigError(
+                f"clock {self.clock_ghz} GHz is faster than the 1 ps "
+                "simulated-time resolution")
 
     # ------------------------------------------------------------ helpers
     @property
@@ -227,6 +260,23 @@ class SystemConfig:
         storage-overhead section quantifies them separately).
         """
         return self.nvm_capacity_bytes // C.CACHE_LINE_BYTES
+
+    @property
+    def cycle_ps(self) -> int:
+        """One core cycle in exact picoseconds (500 ps at Table I's 2 GHz).
+
+        Converted once at configuration time; every cycle-denominated
+        cost is an exact integer multiple of this from then on.
+        """
+        return ps_from_ns(1.0 / self.clock_ghz)
+
+    @property
+    def hash_latency_ps(self) -> int:
+        return self.security.hash_cycles * self.cycle_ps
+
+    @property
+    def aes_latency_ps(self) -> int:
+        return self.security.aes_cycles * self.cycle_ps
 
     @property
     def hash_latency_ns(self) -> float:

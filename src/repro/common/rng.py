@@ -33,14 +33,20 @@ def mix64(*values: int) -> int:
     Deterministic and sensitive to order; this is the core of the fast
     keyed-hash engine.  Not cryptographically strong, but unforgeable
     within the simulation because attackers never call it with the key.
+
+    The splitmix64 step is inlined (identical output to
+    :func:`splitmix64`): this runs once per simulated store, and the
+    per-call tuple allocation of the helper dominated its cost.
     """
     state = 0x243F6A8885A308D3  # pi fractional bits, arbitrary start
     for v in values:
         if v < 0 or v > _MASK64:
             state = mix_wide(abs(v), state)
             continue
-        state, out = splitmix64(state ^ v)
-        state ^= out
+        s = ((state ^ v) + _SPLITMIX_GAMMA) & _MASK64
+        z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        state = s ^ z ^ (z >> 31)
     return state & _MASK64
 
 

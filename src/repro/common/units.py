@@ -1,8 +1,13 @@
-"""Unit helpers: time (cycles <-> nanoseconds) and sizes.
+"""Unit helpers: time (cycles <-> picoseconds <-> nanoseconds) and sizes.
 
-The paper's Table I uses a 2 GHz core clock and nanosecond NVM timings; the
-simulator accounts time in nanoseconds (floats) and converts announced
-cycle costs (e.g. the 40-cycle hash latency) through the configured clock.
+The paper's Table I uses a 2 GHz core clock and nanosecond NVM timings.
+Simulated time is accounted in **integer picoseconds**: every latency the
+configuration announces (cycle costs, PCM timings) is converted to ps
+once, at configuration time, and all hot-path bookkeeping from then on is
+exact integer arithmetic — sums never drift under reordering, so a
+refactored hot path can be proven byte-identical to the original.
+Nanosecond floats appear only at the reporting boundary
+(:func:`ns_from_ps` and the ``*_ns`` properties of the stats objects).
 """
 from __future__ import annotations
 
@@ -12,6 +17,25 @@ GB: int = 1024 * MB
 TB: int = 1024 * GB
 
 NS_PER_S: float = 1e9
+#: integer picoseconds per nanosecond — the simulated-time base unit
+PS_PER_NS: int = 1000
+
+
+def ps_from_ns(ns: float) -> int:
+    """Convert a configured nanosecond quantity to exact picoseconds.
+
+    Config-time conversion: rounding happens once, here, and never again
+    during simulation.  All of Table I's timings are exact multiples of
+    1 ps, so the default configuration round-trips losslessly.
+    """
+    if ns < 0:
+        raise ValueError(f"duration must be non-negative, got {ns}")
+    return round(ns * PS_PER_NS)
+
+
+def ns_from_ps(ps: int) -> float:
+    """Reporting-boundary conversion of exact picoseconds to ns floats."""
+    return ps / PS_PER_NS
 
 
 def cycles_to_ns(cycles: float, clock_ghz: float) -> float:

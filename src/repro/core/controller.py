@@ -286,10 +286,12 @@ class SteinsController(SecureMemoryController):
         is sealed under its newest generated counter, so the newest
         pending value is the one that verifies.
         """
-        in_progress = self._pending_applies.get((level, index))
-        pending = self.nv_buffer.latest_counter_for(level, index)
-        if in_progress is not None or pending is not None:
-            return max(v for v in (in_progress, pending) if v is not None)
+        if self._pending_applies or self.nv_buffer.entries:
+            in_progress = self._pending_applies.get((level, index))
+            pending = self.nv_buffer.latest_counter_for(level, index)
+            if in_progress is not None or pending is not None:
+                return max(v for v in (in_progress, pending)
+                           if v is not None)
         return super()._parent_counter(level, index)
 
     def _oracle_extra_state(self) -> dict[str, object]:

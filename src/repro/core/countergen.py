@@ -59,6 +59,7 @@ class OverflowEstimate:
     years: float
 
 
+# simlint: disable-next=SL202 -- lifetime analysis over wall-clock years, not hot-path simulated time
 def years_to_overflow(write_latency_ns: float = 300.0,
                       counter_bits: int = C.GENERAL_COUNTER_BITS
                       ) -> list[OverflowEstimate]:
@@ -78,6 +79,7 @@ def years_to_overflow(write_latency_ns: float = 300.0,
     for scheme, factor in (("traditional", 1), ("steins-skip", 2),
                            ("naive-weight", C.MINORS_PER_SPLIT_BLOCK)):
         writes = capacity // factor
+        # simlint: disable-next=SL202 -- float-domain estimate by design
         years = writes * write_latency_ns / second_ns / year_s
         out.append(OverflowEstimate(scheme, writes, years))
     return out

@@ -19,7 +19,7 @@ from __future__ import annotations
 import hashlib
 from typing import Protocol
 
-from repro.common.rng import mix_wide, splitmix64
+from repro.common.rng import _SPLITMIX_GAMMA, mix_wide
 
 _MASK64 = (1 << 64) - 1
 
@@ -38,14 +38,46 @@ class HashEngine(Protocol):
 
 
 class FastEngine:
-    """Splitmix64-based keyed hash engine (default for simulations)."""
+    """Splitmix64-based keyed hash engine (default for simulations).
 
-    __slots__ = ("_key",)
+    Digests and OTPs are memoized per engine: both are pure functions of
+    their inputs, so a cache hit returns the bit-identical value a fresh
+    computation would — tamper detection is unaffected because a forged
+    input is a different key that simply misses.  The memos are bounded
+    (cleared wholesale at ``_MEMO_CAP`` entries, a deterministic policy)
+    and pay off heavily in simulations, where the same node HMACs and
+    block pads are recomputed on every refetch of a thrashing cache.
+    """
+
+    __slots__ = ("_key", "_digest_memo", "_otp_memo")
+
+    _MEMO_CAP = 1 << 16
+
+    #: memos shared between engines with the same key: a digest is a pure
+    #: function of (key, fields), so sweeps that build thousands of
+    #: short-lived systems over the default key start warm instead of
+    #: re-deriving the same tree HMACs per candidate
+    _SHARED_MEMOS: dict[int, tuple[dict, dict]] = {}
 
     def __init__(self, key: int) -> None:
         self._key = key & _MASK64
+        memos = self._SHARED_MEMOS.get(self._key)
+        if memos is None:
+            memos = ({}, {})
+            if len(self._SHARED_MEMOS) >= 64:  # bound distinct keys kept
+                self._SHARED_MEMOS.clear()
+            self._SHARED_MEMOS[self._key] = memos
+        self._digest_memo: dict[tuple[int, ...], int] = memos[0]
+        self._otp_memo: dict[tuple[int, int, int], int] = memos[1]
 
     def digest64(self, *fields: int) -> int:
+        memo = self._digest_memo
+        out = memo.get(fields)
+        if out is not None:
+            return out
+        # splitmix64 inlined (bit-identical to repro.common.rng.splitmix64):
+        # this is the hottest function of a simulation, and the helper's
+        # per-step tuple allocation dominated its runtime
         state = self._key
         for f in fields:
             if f < 0:
@@ -53,18 +85,61 @@ class FastEngine:
             if f > _MASK64:
                 state = mix_wide(f, state)
             else:
-                state, out = splitmix64(state ^ f)
-                state ^= out
+                s = ((state ^ f) + _SPLITMIX_GAMMA) & _MASK64
+                z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+                z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+                state = s ^ z ^ (z >> 31)
         # final avalanche so short inputs still diffuse
-        state, out = splitmix64(state)
-        return out & _MASK64
+        s = (state + _SPLITMIX_GAMMA) & _MASK64
+        z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        out = (z ^ (z >> 31)) & _MASK64
+        if len(memo) >= self._MEMO_CAP:
+            memo.clear()
+        memo[fields] = out
+        return out
 
     def otp(self, address: int, counter: int, width_bits: int) -> int:
+        key = (address, counter, width_bits)
+        memo = self._otp_memo
+        pad = memo.get(key)
+        if pad is not None:
+            return pad
         if width_bits <= 0 or width_bits % 64 != 0:
             raise ValueError("OTP width must be a positive multiple of 64")
-        pad = 0
-        for lane in range(width_bits // 64):
-            pad |= self.digest64(address, counter, lane) << (64 * lane)
+        if 0 <= address <= _MASK64 and 0 <= counter <= _MASK64:
+            # All lanes share the mixing prefix over (address, counter);
+            # computing it once and finishing each lane separately is
+            # bit-identical to digest64(address, counter, lane) per lane
+            # at a little over half the rounds.
+            g = _SPLITMIX_GAMMA
+            s = ((self._key ^ address) + g) & _MASK64
+            z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+            state = s ^ z ^ (z >> 31)
+            s = ((state ^ counter) + g) & _MASK64
+            z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+            prefix = s ^ z ^ (z >> 31)
+            pad = 0
+            shift = 0
+            for lane in range(width_bits // 64):
+                s = ((prefix ^ lane) + g) & _MASK64
+                z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+                z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+                st = s ^ z ^ (z >> 31)
+                s = (st + g) & _MASK64
+                z = ((s ^ (s >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+                z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+                pad |= ((z ^ (z >> 31)) & _MASK64) << shift
+                shift += 64
+        else:
+            pad = 0
+            for lane in range(width_bits // 64):
+                pad |= self.digest64(address, counter, lane) << (64 * lane)
+        if len(memo) >= self._MEMO_CAP:
+            memo.clear()
+        memo[key] = pad
         return pad
 
 

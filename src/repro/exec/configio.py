@@ -39,11 +39,26 @@ def _encode(value: Any) -> Any:
         f"cannot encode config value of type {type(value).__name__}")
 
 
+# Resolved annotations per dataclass: get_type_hints re-compiles every
+# stringified annotation (PEP 563) on each call, which dominates decode
+# time in sweeps that rebuild configs per cell.  Hints are import-time
+# constants, so one resolution per class is lossless.
+_HINTS: dict[type, dict[str, Any]] = {}
+
+
+def _class_hints(cls: type) -> dict[str, Any]:
+    hints = _HINTS.get(cls)
+    if hints is None:
+        hints = typing.get_type_hints(cls)
+        _HINTS[cls] = hints
+    return hints
+
+
 def _decode(cls: type, data: Any) -> Any:
     if not isinstance(data, dict):
         raise ConfigError(
             f"expected a dict for {cls.__name__}, got {type(data).__name__}")
-    hints = typing.get_type_hints(cls)
+    hints = _class_hints(cls)
     known = {f.name for f in dataclasses.fields(cls)}
     unknown = set(data) - known
     if unknown:

@@ -120,7 +120,7 @@ class CaseResult:
 
 def _step(system: SecureNVMSystem, trace: TraceArrays, i: int) -> None:
     """Drive one trace access (writes are persisted via clwb)."""
-    system.advance(float(trace.gap_cycles[i]))
+    system.advance(int(trace.gap_cycles[i]))
     if trace.is_write[i]:
         system.store(int(trace.address[i]), flush=True)
     else:

@@ -48,17 +48,17 @@ class TreeGeometry:
             sizes.append(-(-sizes[-1] // self.arity))
         return tuple(sizes)
 
-    @property
+    @cached_property
     def num_levels(self) -> int:
         """In-NVM levels (excluding the on-chip root)."""
         return len(self.level_sizes)
 
-    @property
+    @cached_property
     def height(self) -> int:
         """Paper-style height: levels *including* the root."""
         return self.num_levels + 1
 
-    @property
+    @cached_property
     def top_level(self) -> int:
         """The level whose nodes are the root's direct children."""
         return self.num_levels - 1
@@ -76,12 +76,14 @@ class TreeGeometry:
 
     # -------------------------------------------------------- node math
     def check_node(self, level: int, index: int) -> None:
-        if not 0 <= level < self.num_levels:
+        sizes = self.level_sizes
+        if 0 <= level < len(sizes) and 0 <= index < sizes[level]:
+            return
+        if not 0 <= level < len(sizes):
             raise ConfigError(f"level {level} out of range")
-        if not 0 <= index < self.level_sizes[level]:
-            raise ConfigError(
-                f"index {index} out of range at level {level} "
-                f"(size {self.level_sizes[level]})")
+        raise ConfigError(
+            f"index {index} out of range at level {level} "
+            f"(size {sizes[level]})")
 
     def parent(self, level: int, index: int) -> NodeId | None:
         """Parent node id, or ``None`` when the parent is the root."""

@@ -57,17 +57,17 @@ class MetadataCache:
         logical access.
         """
         s = self._sets[offset % self.num_sets]
-        entry = s.get(offset)
-        tr = self.tracer
-        if entry is None:
+        try:
+            entry = s.pop(offset)
+        except KeyError:
             self.stats.misses += 1
-            if tr.enabled:
-                tr.emit(EV_MC_MISS, offset=offset)
+            if self.tracer.enabled:
+                self.tracer.emit(EV_MC_MISS, offset=offset)
             return None
+        s[offset] = entry  # re-insert at MRU
         self.stats.hits += 1
-        if tr.enabled:
-            tr.emit(EV_MC_HIT, offset=offset)
-        s[offset] = s.pop(offset)  # move to MRU
+        if self.tracer.enabled:
+            self.tracer.emit(EV_MC_HIT, offset=offset)
         return entry[0]
 
     def peek(self, offset: int) -> SITNode | None:

@@ -80,9 +80,12 @@ class SetAssocCache:
         MRU and its dirty flag ORed with ``make_dirty``.
         """
         s = self._sets[key % self.num_sets]
-        if key in s:
-            dirty = s.pop(key) or make_dirty
-            s[key] = dirty
+        try:
+            dirty = s.pop(key)
+        except KeyError:
+            pass
+        else:
+            s[key] = dirty or make_dirty
             self.stats.hits += 1
             return True, None
         self.stats.misses += 1

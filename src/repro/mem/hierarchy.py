@@ -18,7 +18,7 @@ class MemOp(enum.Enum):
     WRITE = "write"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryRequest:
     """A request the hierarchy forwards to the memory controller."""
 
@@ -26,9 +26,13 @@ class MemoryRequest:
     line_addr: int
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyResult:
-    """Outcome of one CPU access."""
+    """Outcome of one CPU access.
+
+    Results for request-free accesses (the common cache-hit case) are
+    shared singletons: treat every result as read-only.
+    """
 
     #: core cycles spent in the hierarchy (hit level latency)
     cycles: int
@@ -48,16 +52,24 @@ class CacheHierarchy:
         self.l1 = SetAssocCache(cfg.l1)
         self.l2 = SetAssocCache(cfg.l2)
         self.l3 = SetAssocCache(cfg.l3)
+        # Preallocated request-free results: most accesses hit a cache
+        # level and evict nothing, so the hot path allocates nothing.
+        self._hit = (HierarchyResult(cfg.l1_hit_cycles, []),
+                     HierarchyResult(cfg.l2_hit_cycles, []),
+                     HierarchyResult(cfg.l3_hit_cycles, []))
 
     def access(self, line_addr: int, is_write: bool) -> HierarchyResult:
         """Run one CPU load/store through the hierarchy."""
-        requests: list[MemoryRequest] = []
+        requests: list[MemoryRequest] | None = None
 
         hit1, ev1 = self.l1.access(line_addr, is_write)
         if ev1 is not None and ev1.dirty:
             # Dirty L1 victim is absorbed by L2 (write-back, inclusive).
+            requests = []
             self._writeback(self.l2, ev1.key, requests, self.l3)
         if hit1:
+            if requests is None:
+                return self._hit[0]
             return HierarchyResult(self.cfg.l1_hit_cycles, requests)
 
         hit2, ev2 = self.l2.access(line_addr, False)
@@ -67,8 +79,12 @@ class CacheHierarchy:
                 # (from either level) goes down to L3.
                 dirty = ev2.dirty or self.l1.is_dirty(ev2.key)
                 if dirty or ev2.dirty:
+                    if requests is None:
+                        requests = []
                     self._writeback(self.l3, ev2.key, requests, None)
         if hit2:
+            if requests is None:
+                return self._hit[1]
             return HierarchyResult(self.cfg.l2_hit_cycles, requests)
 
         hit3, ev3 = self.l3.access(line_addr, False)
@@ -76,12 +92,19 @@ class CacheHierarchy:
             self.l1.invalidate(ev3.key)
             self.l2.invalidate(ev3.key)
             if ev3.dirty:
+                if requests is None:
+                    requests = []
                 requests.append(MemoryRequest(MemOp.WRITE, ev3.key))
         if hit3:
+            if requests is None:
+                return self._hit[2]
             return HierarchyResult(self.cfg.l3_hit_cycles, requests)
 
         # LLC miss: demand-fill from memory.
-        requests.append(MemoryRequest(MemOp.READ, line_addr))
+        if requests is None:
+            requests = [MemoryRequest(MemOp.READ, line_addr)]
+        else:
+            requests.append(MemoryRequest(MemOp.READ, line_addr))
         return HierarchyResult(self.cfg.l3_hit_cycles, requests)
 
     def _writeback(self, lower: "object", key: int,

@@ -69,6 +69,11 @@ class NVMDevice:
                  tracer: Tracer = NULL_TRACER) -> None:
         self.layout = layout
         self.tracer = tracer
+        # region -> line count, flattened out of the layout once: the
+        # per-access range check then costs one dict probe instead of a
+        # call chain (layout.check stays the error path for messages)
+        self._limit: dict[Region, int] = {
+            r: layout.region_lines(r) for r in Region}
         self._store: dict[tuple[Region, int], Any] = {}
         self.stats = DeviceStats()
         # (region, index, pre-image) per in-flight write, oldest first;
@@ -85,7 +90,9 @@ class NVMDevice:
         mixed old/new bytes: its HMAC cannot verify, which the model
         expresses as an immediate tamper detection.
         """
-        self.layout.check(region, index)
+        limit = self._limit.get(region)
+        if limit is None or not 0 <= index < limit:
+            self.layout.check(region, index)
         self.stats.reads[region] += 1
         value = self._store.get((region, index), default)
         if isinstance(value, TornLine):
@@ -101,7 +108,9 @@ class NVMDevice:
         that hold mutable working copies must snapshot before persisting,
         which is what makes crash semantics exact.
         """
-        self.layout.check(region, index)
+        limit = self._limit.get(region)
+        if limit is None or not 0 <= index < limit:
+            self.layout.check(region, index)
         if isinstance(value, (list, dict, set, bytearray)):
             raise TypeError(
                 f"NVM stores immutable values only, got {type(value).__name__}")
@@ -127,7 +136,9 @@ class NVMDevice:
     # -------------------------------------------------- attack / inspect
     def peek(self, region: Region, index: int, default: Any = None) -> Any:
         """Read without statistics — used by attack injectors and tests."""
-        self.layout.check(region, index)
+        limit = self._limit.get(region)
+        if limit is None or not 0 <= index < limit:
+            self.layout.check(region, index)
         value = self._store.get((region, index), default)
         if isinstance(value, TornLine):
             raise TamperDetectedError(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.common.constants import CACHE_LINE_BYTES, OFFSETS_PER_RECORD_LINE
 from repro.common.errors import LayoutError
@@ -24,6 +25,12 @@ class Region(enum.Enum):
     RECORDS = "records"    #: Steins offset record lines
     SHADOW = "shadow"      #: ASIT shadow table
     BITMAP = "bitmap"      #: STAR multi-layer dirty bitmap
+
+    # Members are singletons (equality is identity), so the id-based
+    # object hash is consistent — and C-level, unlike Enum.__hash__,
+    # which is a measurable cost when every NVM access keys a dict on
+    # its region.
+    __hash__ = object.__hash__
 
 
 @dataclass(frozen=True)
@@ -47,21 +54,34 @@ class MemoryLayout:
         """One 8 B MAC entry per data block, 8 entries per 64 B line."""
         return (self.data_lines + 7) // 8
 
+    @cached_property
+    def _limits(self) -> dict[Region, int]:
+        """Per-region line counts, computed once (the layout is frozen)."""
+        return {
+            Region.DATA: self.data_lines,
+            Region.DATA_MAC: self.data_mac_lines,
+            Region.TREE: self.tree_lines,
+            Region.RECORDS: self.record_lines,
+            Region.SHADOW: self.shadow_lines,
+            Region.BITMAP: self.bitmap_lines,
+        }
+
+    @cached_property
+    def _bases(self) -> dict[Region, int]:
+        """Per-region base line addresses in enum declaration order."""
+        bases: dict[Region, int] = {}
+        base = 0
+        for reg in Region:
+            bases[reg] = base
+            base += self._limits[reg]
+        return bases
+
     def region_lines(self, region: Region) -> int:
         """Number of lines in ``region``."""
-        if region is Region.DATA:
-            return self.data_lines
-        if region is Region.DATA_MAC:
-            return self.data_mac_lines
-        if region is Region.TREE:
-            return self.tree_lines
-        if region is Region.RECORDS:
-            return self.record_lines
-        if region is Region.SHADOW:
-            return self.shadow_lines
-        if region is Region.BITMAP:
-            return self.bitmap_lines
-        raise LayoutError(f"unknown region {region!r}")
+        try:
+            return self._limits[region]
+        except KeyError:
+            raise LayoutError(f"unknown region {region!r}") from None
 
     def check(self, region: Region, index: int) -> None:
         """Validate a (region, index) pair; raises ``LayoutError``."""
@@ -81,17 +101,15 @@ class MemoryLayout:
         feeds the row-buffer model so that accesses to different regions
         land in different rows, as they would physically.
         """
-        base = 0
-        for reg in Region:
-            if reg is region:
-                return base
-            base += self.region_lines(reg)
-        raise LayoutError(f"unknown region {region!r}")
+        try:
+            return self._bases[region]
+        except KeyError:
+            raise LayoutError(f"unknown region {region!r}") from None
 
     def global_line(self, region: Region, index: int) -> int:
         """Flat line address of (region, index)."""
         self.check(region, index)
-        return self.region_base(region) + index
+        return self._bases[region] + index
 
 
 def build_layout(data_lines: int, tree_lines: int,

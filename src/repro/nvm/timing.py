@@ -8,25 +8,44 @@ the write queue is full, but every queued write still occupies the device
 for ``tWR`` when it drains, so write-heavy phases back-pressure reads —
 the first-order behaviour that produces the paper's write-latency and
 execution-time gaps.
+
+All bookkeeping here is **integer picoseconds** (see
+:mod:`repro.common.units`): timestamps, completion times, and the
+accumulated latency totals are exact ints; nanosecond floats exist only
+on the reporting properties of :class:`TimingStats`.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass
 
 from repro.common.config import NVMTimingConfig
+from repro.common.units import ns_from_ps
 
 
 @dataclass
 class TimingStats:
-    """Aggregate latency observations."""
+    """Aggregate latency observations (exact integer picoseconds)."""
 
     read_count: int = 0
-    read_latency_ns: float = 0.0
+    read_latency_ps: int = 0
     write_count: int = 0
-    write_latency_ns: float = 0.0
-    write_stall_ns: float = 0.0
+    write_latency_ps: int = 0
+    write_stall_ps: int = 0
     row_hits: int = 0
     row_misses: int = 0
+
+    # Reporting boundary: ns views of the exact ps accumulators.
+    @property
+    def read_latency_ns(self) -> float:
+        return ns_from_ps(self.read_latency_ps)
+
+    @property
+    def write_latency_ns(self) -> float:
+        return ns_from_ps(self.write_latency_ps)
+
+    @property
+    def write_stall_ns(self) -> float:
+        return ns_from_ps(self.write_stall_ps)
 
     @property
     def avg_read_ns(self) -> float:
@@ -63,9 +82,10 @@ class RowBufferModel:
 class NVMTimingModel:
     """Serial-device timing with a bounded posted-write queue.
 
-    Device occupancy is tracked as ``_device_free_at`` (ns).  The write
-    queue holds completion times of outstanding writes; an arriving write
-    whose queue is full stalls the issuer until the oldest completes.
+    Device occupancy is tracked as ``_device_free_at`` (integer ps).  The
+    write queue holds completion times of outstanding writes; an arriving
+    write whose queue is full stalls the issuer until the oldest
+    completes.
     """
 
     def __init__(self, cfg: NVMTimingConfig) -> None:
@@ -73,75 +93,81 @@ class NVMTimingModel:
         self.rows = RowBufferModel(cfg)
         self.stats = TimingStats()
         self.last_row_hit = False  # outcome of the most recent access
-        self._device_free_at = 0.0
-        self._queue: list[float] = []  # completion times, ascending
+        self._device_free_at = 0
+        self._queue: list[int] = []  # completion times (ps), ascending
+        # converted once; the hot path never touches the ns floats
+        self._read_hit_ps = cfg.read_hit_ps
+        self._read_miss_ps = cfg.read_miss_ps
+        self._write_ps = cfg.write_ps
+        self._channel_hold_ps = cfg.channel_hold_ps
 
     # ------------------------------------------------------------- reads
-    def read(self, now_ns: float, row: int) -> float:
-        """Issue a read at ``now_ns``; returns its completion time.
+    def read(self, now_ps: int, row: int) -> int:
+        """Issue a read at ``now_ps``; returns its completion time (ps).
 
         Reads have priority over queued writes but cannot preempt the
         write currently occupying the device.
         """
-        self._drain(now_ns)
+        self._drain(now_ps)
         hit = self.rows.access(row)
         self.last_row_hit = hit
-        latency = self.cfg.read_hit_ns if hit else self.cfg.read_miss_ns
         if hit:
+            latency = self._read_hit_ps
             self.stats.row_hits += 1
         else:
+            latency = self._read_miss_ps
             self.stats.row_misses += 1
-        start = max(now_ns, self._device_free_at)
+        start = max(now_ps, self._device_free_at)
         done = start + latency
         self._device_free_at = done
         self.stats.read_count += 1
-        self.stats.read_latency_ns += done - now_ns
+        self.stats.read_latency_ps += done - now_ps
         return done
 
     # ------------------------------------------------------------ writes
-    def write(self, now_ns: float, row: int) -> tuple[float, float]:
-        """Post a write at ``now_ns``.
+    def write(self, now_ps: int, row: int) -> tuple[int, int]:
+        """Post a write at ``now_ps``.
 
-        Returns ``(issuer_free_at, completion_time)``: the issuer may
-        proceed at ``issuer_free_at`` (== ``now_ns`` unless the queue was
-        full); the line is durable at ``completion_time``.
+        Returns ``(issuer_free_at, completion_time)`` in ps: the issuer
+        may proceed at ``issuer_free_at`` (== ``now_ps`` unless the queue
+        was full); the line is durable at ``completion_time``.
         """
-        self._drain(now_ns)
-        stall_until = now_ns
+        self._drain(now_ps)
+        stall_until = now_ps
         if len(self._queue) >= self.cfg.write_queue_entries:
             # Queue full: the issuer waits for the oldest write to retire.
             stall_until = self._queue[0]
-            self.stats.write_stall_ns += stall_until - now_ns
+            self.stats.write_stall_ps += stall_until - now_ps
             self._drain(stall_until)
         self.rows.access(row)
         start = max(stall_until, self._device_free_at)
         # The cell write takes the full tWR to become durable, but with
         # multiple banks the shared channel is only held for a fraction.
-        self._device_free_at = start + \
-            self.cfg.write_ns / self.cfg.bank_parallelism
+        self._device_free_at = start + self._channel_hold_ps
         # start times are monotone non-decreasing, so done times are too
         # and the queue stays sorted without an explicit sort
-        done = start + self.cfg.write_ns
+        done = start + self._write_ps
         self._queue.append(done)
         self.stats.write_count += 1
-        self.stats.write_latency_ns += done - now_ns
+        self.stats.write_latency_ps += done - now_ps
         return stall_until, done
 
     # ----------------------------------------------------------- helpers
-    def _drain(self, now_ns: float) -> None:
-        """Retire queued writes that completed by ``now_ns``."""
+    def _drain(self, now_ps: int) -> None:
+        """Retire queued writes that completed by ``now_ps``."""
         q = self._queue
         i = 0
         for i, t in enumerate(q):
-            if t > now_ns:
+            if t > now_ps:
                 break
         else:
             i = len(q)
         if i:
             del q[:i]
 
-    def drain_all(self) -> float:
-        """Flush the queue completely; returns the time all writes retire.
+    def drain_all(self) -> int:
+        """Flush the queue completely; returns the time (ps) all writes
+        retire.
 
         Used by the ADR model on crash: residual-power drains the write
         queue and ADR-domain lines into the medium.
@@ -157,5 +183,5 @@ class NVMTimingModel:
     def reset(self) -> None:
         self.rows.reset()
         self.stats = TimingStats()
-        self._device_free_at = 0.0
+        self._device_free_at = 0
         self._queue.clear()

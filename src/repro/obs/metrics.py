@@ -344,7 +344,7 @@ def system_registry(system: "SecureNVMSystem",
     for key, n in sorted(system.meter.breakdown.as_dict().items()):
         reg.counter(f"energy.{key}").inc(n)
     reg.gauge("energy.total_nj").set(system.meter.total_nj)
-    reg.gauge("sim.exec_time_ns").set(system.clock.now)
+    reg.gauge("sim.exec_time_ns").set(system.clock.now_ns)
 
     if tracer is not None:
         reg.absorb(tracer.metrics)

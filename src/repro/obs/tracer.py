@@ -106,7 +106,7 @@ class Tracer:
 
     def now(self) -> float:
         """Current simulated time (0.0 before a clock is bound)."""
-        return self._clock.now if self._clock is not None else 0.0
+        return self._clock.now_ns if self._clock is not None else 0.0
 
     # -------------------------------------------------------------- emit
     def emit(self, kind: str, ts_ns: float | None = None,

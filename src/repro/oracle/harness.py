@@ -194,7 +194,7 @@ class DifferentialRun:
         self.reads += 1
 
     def step(self, trace: TraceArrays, i: int) -> None:
-        self.system.advance(float(trace.gap_cycles[i]))
+        self.system.advance(int(trace.gap_cycles[i]))
         if trace.is_write[i]:
             self.write(int(trace.address[i]))
         else:

@@ -2,7 +2,9 @@
 
 One :class:`MemClock` instance is shared by the cache hierarchy, the
 secure memory controller, and the NVM device.  It advances a single
-``now`` timestamp (nanoseconds):
+``now_ps`` timestamp in **integer picoseconds** (exact arithmetic — sums
+never drift under reordering, which is what lets a batched hot path be
+proven byte-identical to the per-access one):
 
 * compute gaps and cache-hit latencies advance it unconditionally,
 * NVM *reads* advance it to the read's completion (the CPU stalls),
@@ -14,11 +16,13 @@ secure memory controller, and the NVM device.  It advances a single
   data read, Sec. II-B).
 
 Energy is charged on the same calls so no operation can be timed but not
-metered (or vice versa).
+metered (or vice versa).  Nanosecond floats appear only on the
+``now_ns`` reporting property and in trace emissions.
 """
 from __future__ import annotations
 
 from repro.common.config import SystemConfig
+from repro.common.units import ns_from_ps
 from repro.nvm.device import NVMDevice
 from repro.nvm.energy import EnergyMeter
 from repro.nvm.layout import Region
@@ -33,7 +37,7 @@ from repro.obs.tracer import (
 
 
 class MemClock:
-    """Shared simulated-time authority."""
+    """Shared simulated-time authority (integer picoseconds)."""
 
     def __init__(self, cfg: SystemConfig, device: NVMDevice,
                  meter: EnergyMeter, tracer: Tracer = NULL_TRACER) -> None:
@@ -41,28 +45,40 @@ class MemClock:
         self.device = device
         self.meter = meter
         self.timing = NVMTimingModel(cfg.nvm)
-        self.now = 0.0
+        self.now_ps = 0
         self.tracer = tracer
         tracer.bind_clock(self)
         self._lines_per_row = max(1, cfg.nvm.row_bytes // 64)
+        # per-unit costs converted to exact ps once, at construction
+        self._cycle_ps = cfg.cycle_ps
+        self._hash_ps = cfg.hash_latency_ps
+        self._aes_ps = cfg.aes_latency_ps
+        # region base addresses, flattened once: the row computation is
+        # per NVM access; index validation happens in the device access
+        # that immediately follows every _row_of call
+        self._row_base = {r: device.layout.region_base(r) for r in Region}
 
     # ------------------------------------------------------------ time
-    def advance_cycles(self, cycles: float) -> None:
-        self.now += cycles / self.cfg.clock_ghz
+    @property
+    def now_ns(self) -> float:
+        """Reporting view of the current simulated time."""
+        return ns_from_ps(self.now_ps)
 
-    def advance_ns(self, ns: float) -> None:
-        self.now += ns
+    def advance_cycles(self, cycles: int) -> None:
+        self.now_ps += cycles * self._cycle_ps
+
+    def advance_ps(self, ps: int) -> None:
+        self.now_ps += ps
 
     # ------------------------------------------------------- NVM access
     def _row_of(self, region: Region, index: int) -> int:
-        return self.device.layout.global_line(region, index) \
-            // self._lines_per_row
+        return (self._row_base[region] + index) // self._lines_per_row
 
     def nvm_read(self, region: Region, index: int) -> object:
         """Blocking read of one line: stalls until data arrives."""
-        issued = self.now
+        issued = self.now_ps
         done = self.timing.read(issued, self._row_of(region, index))
-        self.now = done
+        self.now_ps = done
         self.meter.nvm_read()
         tr = self.tracer
         if tr.enabled:
@@ -70,14 +86,14 @@ class MemClock:
         return self.device.read(region, index)
 
     def nvm_read_overlapped(self, region: Region, index: int
-                            ) -> tuple[object, float]:
+                            ) -> tuple[object, int]:
         """Read whose latency the caller overlaps with other work.
 
-        Returns ``(value, completion_time)``; ``now`` is *not* advanced —
-        the caller joins with ``join(completion_time)`` once the parallel
-        work is accounted.
+        Returns ``(value, completion_time_ps)``; ``now_ps`` is *not*
+        advanced — the caller joins with ``join(completion_time)`` once
+        the parallel work is accounted.
         """
-        issued = self.now
+        issued = self.now_ps
         done = self.timing.read(issued, self._row_of(region, index))
         self.meter.nvm_read()
         tr = self.tracer
@@ -85,44 +101,48 @@ class MemClock:
             self._trace_read(tr, region, index, issued, done)
         return self.device.read(region, index), done
 
-    def nvm_write(self, region: Region, index: int, value: object) -> float:
-        """Posted write; returns the durability (completion) time.
+    def nvm_write(self, region: Region, index: int, value: object) -> int:
+        """Posted write; returns the durability (completion) time in ps.
 
-        Advances ``now`` only if the write queue was full.
+        Advances ``now_ps`` only if the write queue was full.
         """
-        issued = self.now
+        issued = self.now_ps
         stall_until, done = self.timing.write(
             issued, self._row_of(region, index))
-        self.now = stall_until
+        self.now_ps = stall_until
         self.meter.nvm_write()
         self.device.write(region, index, value)
         tr = self.tracer
         if tr.enabled:
             stalled = stall_until > issued
             if stalled:
-                tr.emit(EV_WQ_STALL, ts_ns=stall_until,
-                        dur_ns=stall_until - issued,
+                tr.emit(EV_WQ_STALL, ts_ns=ns_from_ps(stall_until),
+                        dur_ns=ns_from_ps(stall_until - issued),
                         depth=self.timing.queue_depth)
-            tr.emit(EV_NVM_WRITE, ts_ns=done, dur_ns=done - issued,
+            tr.emit(EV_NVM_WRITE, ts_ns=ns_from_ps(done),
+                    dur_ns=ns_from_ps(done - issued),
                     region=region.name, index=index, stalled=stalled)
             m = tr.metrics
-            m.histogram("nvm.write.latency_ns").observe(done - issued)
-            m.window("nvm.write.traffic", tr.window_ns).observe(issued)
+            m.histogram("nvm.write.latency_ns").observe(
+                ns_from_ps(done - issued))
+            m.window("nvm.write.traffic", tr.window_ns).observe(
+                ns_from_ps(issued))
         return done
 
     def _trace_read(self, tr: Tracer, region: Region, index: int,
-                    issued: float, done: float) -> None:
-        tr.emit(EV_NVM_READ, ts_ns=done, dur_ns=done - issued,
+                    issued: int, done: int) -> None:
+        tr.emit(EV_NVM_READ, ts_ns=ns_from_ps(done),
+                dur_ns=ns_from_ps(done - issued),
                 region=region.name, index=index,
                 row_hit=self.timing.last_row_hit)
         m = tr.metrics
-        m.histogram("nvm.read.latency_ns").observe(done - issued)
-        m.window("nvm.read.traffic", tr.window_ns).observe(issued)
+        m.histogram("nvm.read.latency_ns").observe(ns_from_ps(done - issued))
+        m.window("nvm.read.traffic", tr.window_ns).observe(ns_from_ps(issued))
 
-    def join(self, completion_time: float) -> None:
+    def join(self, completion_time: int) -> None:
         """Wait until an overlapped operation finishes."""
-        if completion_time > self.now:
-            self.now = completion_time
+        if completion_time > self.now_ps:
+            self.now_ps = completion_time
 
     # --------------------------------------------------- security units
     def hash_op(self, n: int = 1, on_critical_path: bool = True) -> None:
@@ -130,19 +150,19 @@ class MemClock:
         pipelined off-path hash still costs energy but no stall."""
         self.meter.hash(n)
         if on_critical_path and n:
-            self.now += n * self.cfg.hash_latency_ns
+            self.now_ps += n * self._hash_ps
 
     def aes_op(self, n: int = 1, on_critical_path: bool = True) -> None:
         self.meter.aes(n)
         if on_critical_path and n:
-            self.now += n * self.cfg.aes_latency_ns
+            self.now_ps += n * self._aes_ps
 
-    def alu_op(self, n: int = 1, cycles_each: float = 1.0,
+    def alu_op(self, n: int = 1, cycles_each: int = 1,
                on_critical_path: bool = True) -> None:
         """Cheap linear-function work (Steins' counter generation)."""
         self.meter.alu(n)
         if on_critical_path and n:
-            self.now += n * cycles_each / self.cfg.clock_ghz
+            self.now_ps += n * cycles_each * self._cycle_ps
 
     def sram_op(self, n: int = 1) -> None:
         """On-controller SRAM/register traffic: energy only, no stall."""
@@ -152,9 +172,9 @@ class MemClock:
     def drain_writes(self) -> None:
         """Retire all queued writes (graceful shutdown / ADR flush)."""
         done = self.timing.drain_all()
-        if done > self.now:
-            self.now = done
+        if done > self.now_ps:
+            self.now_ps = done
 
     def reset(self) -> None:
         self.timing.reset()
-        self.now = 0.0
+        self.now_ps = 0

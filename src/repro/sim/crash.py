@@ -47,7 +47,12 @@ def counters_dominate(found: tuple, golden: tuple) -> bool:
     if fb[0] != gb[0]:
         return False
     if fb[0] == "general":
-        return all(f >= g for f, g in zip(fb[1], gb[1]))
+        # strict: a length mismatch (malformed block, or a general block
+        # compared against wider golden arity) must fail domination, not
+        # silently truncate to the shorter tuple and pass vacuously
+        if len(fb[1]) != len(gb[1]):
+            return False
+        return all(f >= g for f, g in zip(fb[1], gb[1], strict=True))
     # split: compare via the generated counter (major-weighted)
     f_gen = fb[1] * 64 + sum(fb[2])
     g_gen = gb[1] * 64 + sum(gb[2])
@@ -93,8 +98,11 @@ def check_recovered(system: SecureNVMSystem, golden: GoldenState) -> None:
                     f"the pre-crash state: {persisted} < {snap}")
     # The root may advance (SCUE's full rebuild recovers cached updates
     # the persisted root had not absorbed yet) but must never regress.
+    # Root arity is fixed by the geometry, so a length mismatch is a
+    # recovery bug, not a comparison to be truncated away.
     for slot, (now, before) in enumerate(zip(c.root.snapshot(),
-                                             golden.root_counters)):
+                                             golden.root_counters,
+                                             strict=True)):
         if now < before:
             raise RecoveryError(
                 f"root slot {slot} regressed across crash/recovery "
@@ -134,7 +142,7 @@ def run_with_crash(system: SecureNVMSystem, trace: TraceArrays,
             report, _ = crash_and_recover(system)
         if i == len(trace):
             break
-        system.advance(float(trace.gap_cycles[i]))
+        system.advance(int(trace.gap_cycles[i]))
         if trace.is_write[i]:
             system.store(int(trace.address[i]), flush=flush_writes)
         else:

@@ -21,27 +21,42 @@ from dataclasses import dataclass
 from repro.baselines.report import RecoveryReport
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
+from repro.common.units import ns_from_ps
 from repro.sim.system import SecureNVMSystem
 
 
 @dataclass(frozen=True)
 class MultiRunResult:
-    """Aggregate metrics across the memory controllers."""
+    """Aggregate metrics across the memory controllers.
+
+    Times are carried as exact integer picoseconds so sharded runs
+    aggregate without per-shard float error relative to a
+    single-controller run; the ``*_ns`` properties are the reporting
+    boundary.
+    """
 
     num_controllers: int
-    #: wall-clock: the slowest controller bounds completion
-    exec_time_ns: float
-    #: sum of per-controller busy times (serial-equivalent work)
-    total_busy_ns: float
+    #: wall-clock: the slowest controller bounds completion (ps)
+    exec_time_ps: int
+    #: sum of per-controller busy times (serial-equivalent work, ps)
+    total_busy_ps: int
     nvm_write_traffic: int
     energy_nj: float
+
+    @property
+    def exec_time_ns(self) -> float:
+        return ns_from_ps(self.exec_time_ps)
+
+    @property
+    def total_busy_ns(self) -> float:
+        return ns_from_ps(self.total_busy_ps)
 
     @property
     def parallel_speedup(self) -> float:
         """Serial-equivalent time over wall-clock: ~N for disjoint
         clients, ~1 when everything hits one DIMM."""
         return self.total_busy_ns / self.exec_time_ns \
-            if self.exec_time_ns else 1.0
+            if self.exec_time_ps else 1.0
 
 
 class MultiControllerSystem:
@@ -74,7 +89,7 @@ class MultiControllerSystem:
         system, local = self._local(block_addr)
         system.load(local)
 
-    def advance(self, gap_cycles: float) -> None:
+    def advance(self, gap_cycles: int) -> None:
         for system in self.shards:
             system.advance(gap_cycles)
 
@@ -93,11 +108,11 @@ class MultiControllerSystem:
 
     # ----------------------------------------------------------- stats
     def result(self) -> MultiRunResult:
-        times = [system.clock.now for system in self.shards]
+        times = [system.clock.now_ps for system in self.shards]
         return MultiRunResult(
             num_controllers=self.num_controllers,
-            exec_time_ns=max(times),
-            total_busy_ns=sum(times),
+            exec_time_ps=max(times),
+            total_busy_ps=sum(times),
             nvm_write_traffic=sum(s.device.stats.total_writes
                                   for s in self.shards),
             energy_nj=sum(s.meter.total_nj for s in self.shards),

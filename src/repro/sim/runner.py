@@ -82,14 +82,12 @@ def run_trace(system: SecureNVMSystem, trace: TraceArrays,
     """Drive one trace through a system and collect the metrics.
 
     ``flush_writes`` applies clwb semantics after every store (the
-    persistent-workload idiom).
+    persistent-workload idiom).  Uses the batched
+    :meth:`~repro.sim.system.SecureNVMSystem.run_stream` hot path, which
+    the golden stats suite pins byte-identical to the per-access
+    ``advance``/``store``/``load`` equivalent.
     """
-    for is_write, addr, gap in trace:
-        system.advance(gap)
-        if is_write:
-            system.store(addr, flush=flush_writes)
-        else:
-            system.load(addr)
+    system.run_stream(trace, flush_writes=flush_writes)
     return system.result(workload_name)
 
 

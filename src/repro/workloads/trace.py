@@ -8,6 +8,7 @@ iterated), so every figure is exactly reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterator
 
 import numpy as np
@@ -34,6 +35,17 @@ class TraceArrays:
     def __iter__(self) -> Iterator[tuple[bool, int, int]]:
         for w, a, g in zip(self.is_write, self.address, self.gap_cycles):
             yield bool(w), int(a), int(g)
+
+    @cached_property
+    def columns(self) -> tuple[list[bool], list[int], list[int]]:
+        """Native-python column views ``(is_write, address, gap_cycles)``.
+
+        One bulk ``.tolist()`` per column replaces a per-access numpy
+        scalar unboxing in the simulation loop; cached because a trace is
+        frozen and typically driven through several systems.
+        """
+        return (self.is_write.tolist(), self.address.tolist(),
+                self.gap_cycles.tolist())
 
     def head(self, n: int) -> "TraceArrays":
         """First ``n`` accesses (for quick tests)."""

@@ -1,0 +1,23 @@
+"""Fixture: float leakage into simulated-time bookkeeping (SL202).
+
+Lives under a ``sim/`` directory on purpose: the rule only applies
+inside the sim/nvm/mem/core simulation packages.
+"""
+
+
+def advance_cycles(clock, cycles: float) -> None:    # SL202: float param
+    clock.now_ps += cycles * 1000
+
+
+def nvm_write_ps(issued) -> float:                   # SL202: float return
+    return issued
+
+
+class Clock:
+    now_ps: float = 0                                # SL202: float field
+
+    def report(self):
+        half = self.now_ps / 2                       # SL202: true division
+        as_f = float(self.now_ps)                    # SL202: float() call
+        scaled = self.now_ps * 1.5                   # SL202: float literal
+        return half, as_f, scaled

@@ -1,0 +1,31 @@
+"""Fixture: exact integer simulated time — no diagnostics expected."""
+from functools import cached_property
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now_ps: int = 0
+
+    def advance_cycles(self, cycles: int) -> None:
+        self.now_ps += cycles * 250                 # exact integer ps
+
+    @property
+    def now_ns(self) -> float:
+        # @property reporting views are the sanctioned ps -> ns boundary
+        return self.now_ps / 1000
+
+    @cached_property
+    def cycle_ns(self) -> float:
+        return 250 / 1000
+
+
+class RunResult:
+    # *Result carriers hold reporting floats by design
+    exec_time_ns: float = 0.0
+
+    def latency_ns(self, latency_ps: int) -> float:
+        return latency_ps / 1000
+
+
+def hit_rate(hits: int, total: int) -> float:
+    return hits / total if total else 0.0           # not a time quantity

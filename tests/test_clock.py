@@ -1,4 +1,10 @@
-"""The simulation clock: stalls, overlap, posted writes, energy coupling."""
+"""The simulation clock: stalls, overlap, posted writes, energy coupling.
+
+The clock runs on integer picoseconds (``now_ps``); ``now_ns`` is the
+reporting boundary.  Assertions here check both: exact equality on the
+ps ints (that is the whole point of exact time) and value checks on the
+ns views.
+"""
 import pytest
 
 from repro.common.config import EnergyConfig, small_config
@@ -18,10 +24,22 @@ def rig():
 
 def test_advance(rig):
     clock, _, _ = rig
-    clock.advance_cycles(200)   # 2 GHz -> 100 ns
-    assert clock.now == pytest.approx(100.0)
-    clock.advance_ns(50)
-    assert clock.now == pytest.approx(150.0)
+    clock.advance_cycles(200)   # 2 GHz -> 100 ns exactly
+    assert clock.now_ps == 100_000
+    assert clock.now_ns == 100.0
+    clock.advance_ps(50_000)
+    assert clock.now_ps == 150_000
+    assert clock.now_ns == 150.0
+
+
+def test_time_is_exact_integer(rig):
+    clock, _, _ = rig
+    # the drift bug this replaces: many small float additions stopped
+    # matching one big one.  Integer ps makes the sum order-free.
+    for _ in range(1000):
+        clock.advance_cycles(3)
+    assert isinstance(clock.now_ps, int)
+    assert clock.now_ps == 3000 * clock.cfg.cycle_ps
 
 
 def test_blocking_read_stalls_and_meters(rig):
@@ -29,7 +47,7 @@ def test_blocking_read_stalls_and_meters(rig):
     device.poke(Region.DATA, 3, 42)
     value = clock.nvm_read(Region.DATA, 3)
     assert value == 42
-    assert clock.now >= 63.0          # tRCD + tCL row miss
+    assert clock.now_ns >= 63.0       # tRCD + tCL row miss
     assert meter.breakdown.nvm_reads == 1
 
 
@@ -38,19 +56,19 @@ def test_overlapped_read_does_not_stall(rig):
     device.poke(Region.DATA, 3, 42)
     value, done = clock.nvm_read_overlapped(Region.DATA, 3)
     assert value == 42
-    assert clock.now == 0.0
+    assert clock.now_ps == 0
     assert done > 0
     clock.join(done)
-    assert clock.now == done
+    assert clock.now_ps == done
     clock.join(done - 10)   # joining the past is a no-op
-    assert clock.now == done
+    assert clock.now_ps == done
 
 
 def test_posted_write_returns_completion(rig):
     clock, device, meter = rig
     done = clock.nvm_write(Region.DATA, 1, ("data", 1, 2, 3))
-    assert clock.now < done           # posted: issuer continues
-    assert done >= 300.0
+    assert clock.now_ps < done        # posted: issuer continues
+    assert done >= 300_000            # tWR = 300 ns = 300000 ps
     assert device.peek(Region.DATA, 1) == ("data", 1, 2, 3)
     assert meter.breakdown.nvm_writes == 1
 
@@ -58,20 +76,20 @@ def test_posted_write_returns_completion(rig):
 def test_hash_critical_vs_pipelined(rig):
     clock, _, meter = rig
     clock.hash_op(2)                   # on path: 2 x 20 ns
-    assert clock.now == pytest.approx(40.0)
+    assert clock.now_ps == 40_000
     clock.hash_op(3, on_critical_path=False)
-    assert clock.now == pytest.approx(40.0)   # no stall
+    assert clock.now_ps == 40_000             # no stall
     assert meter.breakdown.hashes == 5        # but all metered
 
 
 def test_aes_and_alu(rig):
     clock, _, meter = rig
     clock.aes_op()
-    assert clock.now == pytest.approx(20.0)
-    clock.alu_op(cycles_each=4.0)
-    assert clock.now == pytest.approx(22.0)
+    assert clock.now_ps == 20_000
+    clock.alu_op(cycles_each=4)
+    assert clock.now_ps == 22_000
     clock.sram_op(2)
-    assert clock.now == pytest.approx(22.0)   # register traffic: free
+    assert clock.now_ps == 22_000     # register traffic: free
     assert meter.breakdown.sram_accesses == 2
 
 
@@ -82,14 +100,14 @@ def test_drain_writes(rig):
     assert clock.timing.queue_depth == 2
     clock.drain_writes()
     assert clock.timing.queue_depth == 0
-    assert clock.now > 0
+    assert clock.now_ps > 0
 
 
 def test_reset(rig):
     clock, _, _ = rig
     clock.nvm_read(Region.DATA, 0)
     clock.reset()
-    assert clock.now == 0.0
+    assert clock.now_ps == 0
     assert clock.timing.stats.read_count == 0
 
 

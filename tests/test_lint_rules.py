@@ -70,6 +70,31 @@ class TestExactnessRule:
         assert run_lint([str(copy)]).diagnostics == []
 
 
+class TestSimulatedTimeRule:
+    def test_flags_float_time_annotations_and_arithmetic(self):
+        result = lint("sim/simtime_bad.py")
+        assert hits(result) == [
+            ("SL202", 8),   # float parameter annotation
+            ("SL202", 12),  # float return annotation on *_ps function
+            ("SL202", 17),  # float class field
+            ("SL202", 20),  # true division on now_ps
+            ("SL202", 21),  # float() conversion
+            ("SL202", 22),  # float literal in time arithmetic
+        ]
+        assert result.exit_code() == 1
+
+    def test_reporting_boundaries_are_silent(self):
+        assert lint("sim/simtime_ok.py").diagnostics == []
+
+    def test_rule_is_scoped_to_simulation_directories(self, tmp_path):
+        # identical code outside sim/nvm/mem/core is not hot-path
+        # simulated time and must not be flagged
+        copy = tmp_path / "analysis_helper.py"
+        copy.write_text(
+            (FIXTURES / "sim" / "simtime_bad.py").read_text())
+        assert run_lint([str(copy)]).diagnostics == []
+
+
 class TestStatsRule:
     def test_flags_typoed_attr_and_bump_key(self):
         result = lint("stats_bad.py")

@@ -1,4 +1,7 @@
-"""PCM timing model: row buffer, posted writes, queue back-pressure."""
+"""PCM timing model: row buffer, posted writes, queue back-pressure.
+
+The model runs on integer picoseconds; equality assertions are exact.
+"""
 import pytest
 
 from repro.common.config import NVMTimingConfig
@@ -11,12 +14,22 @@ def make_model(**kwargs) -> NVMTimingModel:
 
 def test_read_row_miss_then_hit():
     m = make_model()
-    done1 = m.read(0.0, row=5)
-    assert done1 == pytest.approx(63.0)          # tRCD + tCL
+    done1 = m.read(0, row=5)
+    assert done1 == 63_000            # tRCD + tCL = 63 ns
     done2 = m.read(done1, row=5)
-    assert done2 - done1 == pytest.approx(15.0)  # open-row hit
+    assert done2 - done1 == 15_000    # open-row hit
     assert m.stats.row_misses == 1
     assert m.stats.row_hits == 1
+
+
+def test_completion_times_are_exact_ints():
+    m = make_model()
+    done = m.read(0, row=1)
+    assert isinstance(done, int)
+    free, done_w = m.write(done, row=2)
+    assert isinstance(free, int) and isinstance(done_w, int)
+    assert isinstance(m.stats.read_latency_ps, int)
+    assert isinstance(m.stats.write_latency_ps, int)
 
 
 def test_row_buffer_capacity_evicts_lru():
@@ -30,17 +43,18 @@ def test_row_buffer_capacity_evicts_lru():
 
 def test_posted_write_does_not_stall():
     m = make_model()
-    issuer_free, done = m.write(0.0, row=1)
-    assert issuer_free == 0.0
-    assert done == pytest.approx(300.0)
+    issuer_free, done = m.write(0, row=1)
+    assert issuer_free == 0
+    assert done == 300_000            # tWR = 300 ns
 
 
 def test_write_queue_backpressure():
     m = make_model(write_queue_entries=2, bank_parallelism=1)
-    m.write(0.0, row=1)
-    m.write(0.0, row=2)
-    issuer_free, _ = m.write(0.0, row=3)   # queue full -> stall
-    assert issuer_free > 0.0
+    m.write(0, row=1)
+    m.write(0, row=2)
+    issuer_free, _ = m.write(0, row=3)   # queue full -> stall
+    assert issuer_free > 0
+    assert m.stats.write_stall_ps > 0
     assert m.stats.write_stall_ns > 0.0
 
 
@@ -48,34 +62,34 @@ def test_bank_parallelism_shortens_channel_occupancy():
     serial = make_model(bank_parallelism=1)
     banked = make_model(bank_parallelism=8)
     for m in (serial, banked):
-        m.write(0.0, row=1)
-        m.write(0.0, row=2)
+        m.write(0, row=1)
+        m.write(0, row=2)
     # a read arriving right after two writes waits much less with banks
-    t_serial = serial.read(0.0, row=9)
-    t_banked = banked.read(0.0, row=9)
+    t_serial = serial.read(0, row=9)
+    t_banked = banked.read(0, row=9)
     assert t_banked < t_serial
 
 
 def test_reads_wait_for_device():
     m = make_model(bank_parallelism=1)
-    m.write(0.0, row=1)   # occupies device 300 ns
-    done = m.read(0.0, row=2)
-    assert done >= 300.0
+    m.write(0, row=1)   # occupies device 300 ns
+    done = m.read(0, row=2)
+    assert done >= 300_000
 
 
 def test_queue_drains_over_time():
     m = make_model(write_queue_entries=4)
     for _ in range(4):
-        m.write(0.0, row=1)
+        m.write(0, row=1)
     assert m.queue_depth == 4
-    m.write(10_000.0, row=1)   # far future: all retired
+    m.write(10_000_000, row=1)   # far future: all retired
     assert m.queue_depth == 1
 
 
 def test_drain_all():
     m = make_model()
-    m.write(0.0, row=1)
-    m.write(0.0, row=2)
+    m.write(0, row=1)
+    m.write(0, row=2)
     done = m.drain_all()
     assert m.queue_depth == 0
     assert done > 0
@@ -83,19 +97,19 @@ def test_drain_all():
 
 def test_reset():
     m = make_model()
-    m.write(0.0, row=1)
-    m.read(100.0, row=2)
+    m.write(0, row=1)
+    m.read(100_000, row=2)
     m.reset()
     assert m.queue_depth == 0
     assert m.stats.read_count == 0
-    assert m.read(0.0, row=2) == pytest.approx(63.0)
+    assert m.read(0, row=2) == 63_000
 
 
 def test_latency_stats_accumulate():
     m = make_model()
-    m.read(0.0, row=1)
-    m.read(100.0, row=50_000)
+    m.read(0, row=1)
+    m.read(100_000, row=50_000)
     assert m.stats.read_count == 2
     assert m.stats.avg_read_ns > 0
-    m.write(1000.0, row=1)   # device idle by then
+    m.write(1_000_000, row=1)   # device idle by then
     assert m.stats.avg_write_ns == pytest.approx(300.0)

@@ -80,7 +80,7 @@ class TestTracer:
 
     def test_default_timestamp_comes_from_bound_clock(self):
         class FakeClock:
-            now = 777.0
+            now_ns = 777.0
 
         tr = Tracer()
         tr.bind_clock(FakeClock())

@@ -40,6 +40,70 @@ def test_recover_restores_dirty_nodes(cls):
             assert counters_dominate(found, snap)
 
 
+class TestCountersDominate:
+    """Slot-wise domination must be exact, never vacuous."""
+
+    @staticmethod
+    def node(counters, level=0, index=0, kind="general"):
+        return ("sitnode", level, index, (kind, counters), 0)
+
+    def test_equal_and_advanced_dominate(self):
+        from repro.sim.crash import counters_dominate
+        g = self.node((1, 2, 3, 4))
+        assert counters_dominate(self.node((1, 2, 3, 4)), g)
+        assert counters_dominate(self.node((1, 2, 3, 5)), g)
+
+    def test_regressed_slot_fails(self):
+        from repro.sim.crash import counters_dominate
+        g = self.node((1, 2, 3, 4))
+        assert not counters_dominate(self.node((1, 2, 2, 4)), g)
+
+    def test_mismatched_arity_fails_not_truncates(self):
+        # the bug: zip() silently stopped at the shorter tuple, so a
+        # malformed 2-slot block "dominated" an 8-slot golden vacuously
+        from repro.sim.crash import counters_dominate
+        golden = self.node((1, 1, 1, 1, 1, 1, 1, 1))
+        found_short = self.node((9, 9))
+        assert not counters_dominate(found_short, golden)
+        # and the symmetric direction: wider found with regressed tail
+        golden_short = self.node((9, 9))
+        found_wide = self.node((9, 9, 0, 0))
+        assert not counters_dominate(found_wide, golden_short)
+
+    def test_kind_mismatch_fails(self):
+        from repro.sim.crash import counters_dominate
+        general = self.node((1, 1))
+        split = ("sitnode", 0, 0, ("split", 1, (0, 0)), 0)
+        assert not counters_dominate(general, split)
+
+    def test_root_arity_mismatch_raises(self):
+        # the sibling zip over root counters is strict: losing root
+        # slots across recovery is a bug, not a shorter comparison
+        from repro.sim.crash import GoldenState, check_recovered
+
+        class FakeRoot:
+            def snapshot(self):
+                return (1, 1)
+
+        class FakeCache:
+            def dirty_entries(self):
+                return []
+
+            def peek(self, offset):
+                return None
+
+        class FakeController:
+            root = FakeRoot()
+            metacache = FakeCache()
+
+        class FakeSystem:
+            controller = FakeController()
+
+        golden = GoldenState(root_counters=(1, 1, 1, 1))
+        with pytest.raises(ValueError):
+            check_recovered(FakeSystem(), golden)
+
+
 @pytest.mark.parametrize("cls", [ASITController, STARController])
 def test_data_readable_after_recovery(cls):
     controller, _, _ = make_rig(CounterMode.GENERAL, cls, 2048)
