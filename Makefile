@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-fast coverage lint simlint ruff mypy faults-smoke \
 	sweep-smoke trace-smoke oracle-smoke explore-smoke serve-smoke \
-	bench-core all
+	bench-core conformance all
 
 all: lint test
 
@@ -90,6 +90,20 @@ bench-core:
 # exits non-zero on any silent divergence
 oracle-smoke:
 	$(PYTHON) -m repro oracle --all-schemes --seed 1 --jobs 2
+
+# the registry-parametrized conformance gate: the per-scheme test file
+# (oracle cases, recovery properties, determinism, registration
+# contract) plus the CLI oracle suite.  `make conformance SCHEME=x`
+# restricts both to one registered scheme — the CI matrix runs one job
+# per scheme this way; with no SCHEME everything registered is covered.
+conformance:
+ifdef SCHEME
+	$(PYTHON) -m pytest -x -q tests/test_scheme_conformance.py -k "$(SCHEME)"
+	$(PYTHON) -m repro oracle --scheme $(SCHEME) --seed 1 --jobs 2
+else
+	$(PYTHON) -m pytest -x -q tests/test_scheme_conformance.py
+	$(PYTHON) -m repro oracle --all-schemes --seed 1 --jobs 2
+endif
 
 # traced run covering every event family (NVM, metacache, SIT,
 # NV-buffer, ADR, recovery), then schema-validate both artifacts

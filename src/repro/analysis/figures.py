@@ -30,11 +30,15 @@ from repro.exec import (
     config_to_dict,
     run_sweep,
 )
-from repro.sim.runner import GC_VARIANTS, SC_VARIANTS
+from repro.sim.runner import GC_VARIANTS, SC_VARIANTS, VARIANTS
 from repro.sim.stats import RunResult
 from repro.workloads import PAPER_WORKLOADS
 
 Rows = dict[str, dict[str, float]]
+
+#: every registered figure variant, in registry order — the "zoo" figure
+#: grows automatically when a plugin scheme registers new variants
+ZOO_VARIANTS: tuple[str, ...] = tuple(VARIANTS)
 
 
 def figure_config() -> SystemConfig:
@@ -168,6 +172,15 @@ class FigureHarness:
     def fig16_energy_sc(self) -> Rows:
         """Energy normalized to WB-SC."""
         return self._normalized(SC_VARIANTS, "wb-sc", "energy")
+
+    def fig_zoo_execution_time(self) -> Rows:
+        """Execution time for *every* registered variant, WB-GC = 1.
+
+        Not a paper figure: the scheme-zoo overview that puts plugin
+        schemes (Phoenix, SecPM, and whatever registers next) on the
+        same axis as the paper's variants.
+        """
+        return self._normalized(ZOO_VARIANTS, "wb-gc", "exec_time")
 
     @staticmethod
     def fig17_recovery_time(cache_sizes: tuple[int, ...] = (

@@ -14,6 +14,7 @@ Rule id allocation:
 * SL801-SL899  crash-space exploration hygiene
 * SL901-SL998  service hygiene
 * SL999        parse errors (engine-emitted)
+* SL1001-SL1099  scheme-registry hygiene
 """
 from repro.analysis.lint.rules import (  # noqa: F401  -- registration
     determinism,
@@ -25,6 +26,7 @@ from repro.analysis.lint.rules import (  # noqa: F401  -- registration
     oracle,
     orchestration,
     persist,
+    schemes,
     serve,
     simtime,
     stats,

@@ -104,6 +104,17 @@ def storage_breakdown(variant: str,
         extra_nvm = 0
         extra_cache = 0
         onchip = 64 + 8
+    elif scheme == "phoenix":
+        # one 8 B subtree-sum register per top-level node
+        extra_nvm = 0
+        extra_cache = 0
+        onchip = 64 + geometry.level_sizes[geometry.top_level] * 8
+    elif scheme == "secpm":
+        # the 8 B persist_root register; the write-through path needs
+        # no extra storage (it reuses the tree's own leaf lines)
+        extra_nvm = 0
+        extra_cache = 0
+        onchip = 64 + 8
     else:  # wb
         extra_nvm = 0
         extra_cache = 0

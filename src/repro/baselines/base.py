@@ -65,6 +65,8 @@ class ControllerStats:
         "buffer_drains",
         "buffered_parent_updates",
         "cache_tree_updates",
+        "counter_writethroughs",
+        "merged_counter_writes",
         "osiris_stop_loss_writes",
         "set_mac_updates",
         "shadow_writes",

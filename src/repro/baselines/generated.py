@@ -1,0 +1,198 @@
+"""Shared base for *generated-counter* (gensum) schemes.
+
+SCUE (Huang & Hua, HPCA'23), Phoenix (arXiv:1911.01922) and SecPM
+(arXiv:1901.00620) all rest on the same structural property: a parent
+counter slot holds the *sum* of its child node's counters rather than a
+self-incrementing version number.  That makes the whole tree a pure
+function of its leaves — any subset of it can be regenerated bottom-up
+by summation, which is what their recovery protocols exploit.
+
+This base factors the property out of the individual schemes:
+
+* the gensum flush protocol (``_flush_dirty_node``): seal under the
+  node's own generated sum, persist, then apply the sum to the parent's
+  slot (fetching the parent on the write path when it misses, as in WB);
+* the in-progress-apply register (``_pending_applies``) that keeps the
+  fetch walk's verification consistent while a child's new sum is being
+  propagated;
+* leaf reconstruction from the data region's counter echoes
+  (``_rebuild_leaf`` / ``_verify_data_echo``), and
+* the bottom-up re-summation sweep that re-seals and re-persists a
+  rebuilt forest and lands its totals in the root register
+  (``_resum_rebuilt``).
+
+Subclasses differ only in *which* durable register anchors the replay
+check (SCUE: one grand total; Phoenix: one per top-level subtree; SecPM:
+one total plus a leaf write-through persist path) and in how much of the
+tree their ``recover()`` rebuilds.
+"""
+from __future__ import annotations
+
+from repro.baselines.base import SecureMemoryController
+from repro.baselines.report import RecoveryReport
+from repro.common.config import SystemConfig
+from repro.common.errors import TamperDetectedError
+from repro.counters import (
+    GeneralCounterBlock,
+    OverflowPolicy,
+    SplitCounterBlock,
+)
+from repro.crypto import cme
+from repro.faults.registry import POINT_RECOVERY, fire
+from repro.integrity.node import SITNode
+from repro.nvm.device import NVMDevice
+from repro.nvm.layout import Region
+
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sim.clock import MemClock
+
+
+class GeneratedCounterController(SecureMemoryController):
+    """Base controller for schemes with sum-generated parent counters."""
+
+    #: generated (sum) counters need lazy-update consistency, like Steins
+    supports_eager_updates = False
+    #: flushes persist before propagating, like Steins
+    uses_inflight_fetch = False
+
+    def __init__(self, cfg: SystemConfig, device: NVMDevice,
+                 clock: "MemClock") -> None:
+        super().__init__(cfg, device, clock)
+        #: updates whose parent fetch is in progress (see Steins'
+        #: equivalent register: the fetch walk may need to verify the
+        #: just-persisted child before its parent slot carries the value)
+        self._pending_applies: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------ hooks
+    def _leaf_overflow_policy(self) -> OverflowPolicy:
+        return (OverflowPolicy.SKIP if self._leaf_split
+                else OverflowPolicy.PLAIN)
+
+    def _oracle_extra_state(self) -> dict[str, object]:
+        """Every generated-counter scheme anchors recovery in its own
+        durable register(s); naming them here is each subclass's job
+        (enforced statically by SL701, dynamically at registration)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must declare its durable trust base")
+
+    # ---------------------------------------------------- flush protocol
+    def _flush_dirty_node(self, node: SITNode) -> None:
+        """Sum-generated counters (the property recovery relies on), but
+        without Steins' NV buffer: an uncached parent is fetched on the
+        write path, as in WB."""
+        generated = node.gensum()
+        self.clock.alu_op(cycles_each=2)
+        self.clock.hash_op()
+        node.seal(self.engine, generated)
+        self._persist_node(node)
+        g = self.geometry
+        slot = g.parent_slot(node.level, node.index)
+        parent = g.parent(node.level, node.index)
+        if parent is None:
+            self.root.set_counter(slot, generated)
+            return
+        key = (node.level, node.index)
+        outer = self._pending_applies.get(key)
+        self._pending_applies[key] = generated
+        try:
+            pnode = self._ensure_node(*parent)
+        finally:
+            if outer is None:
+                self._pending_applies.pop(key, None)
+            else:
+                self._pending_applies[key] = outer
+        if generated > pnode.counter(slot):
+            pnode.block.set_counter(slot, generated)
+            poff = g.node_offset(*parent)
+            if self.metacache.contains(poff):
+                self._mark_dirty(poff, pnode)
+
+    def _parent_counter(self, level: int, index: int) -> int:
+        in_progress = self._pending_applies.get((level, index))
+        if in_progress is not None:
+            return in_progress
+        return super()._parent_counter(level, index)
+
+    def _crash_volatile_state(self) -> None:
+        self._pending_applies.clear()
+
+    # ----------------------------------------------- recovery primitives
+    def _rebuild_leaf(self, leaf_index: int,
+                      report: RecoveryReport) -> SITNode:
+        """Regenerate one leaf from its covered blocks' counter echoes
+        (each verified against the block's HMAC before it is trusted)."""
+        g = self.geometry
+        if self._leaf_split:
+            major = 0
+            minors = [0] * g.leaf_coverage
+            for addr in g.leaf_data_blocks(leaf_index):
+                value = self.device.peek(Region.DATA, addr)
+                report.read()
+                if value is None:
+                    continue
+                self._verify_data_echo(addr, value, report)
+                echo = value[3]
+                minors[g.leaf_slot_for_block(addr)] = echo & 63
+                major = max(major, echo >> 6)
+            block: GeneralCounterBlock | SplitCounterBlock = \
+                SplitCounterBlock(major, minors, self._overflow_policy)
+        else:
+            block = GeneralCounterBlock()
+            for addr in g.leaf_data_blocks(leaf_index):
+                value = self.device.peek(Region.DATA, addr)
+                report.read()
+                if value is None:
+                    continue
+                self._verify_data_echo(addr, value, report)
+                block.set_counter(g.leaf_slot_for_block(addr), value[3])
+        return SITNode(0, leaf_index, block)
+
+    def _verify_data_echo(self, addr: int, value: tuple,
+                          report: RecoveryReport) -> None:
+        _, cipher, hmac, echo = value
+        plaintext = cme.decrypt_block(self.engine, addr, echo, cipher)
+        report.hash()
+        if hmac != cme.data_hmac(self.engine, addr, echo, plaintext):
+            raise TamperDetectedError(
+                f"data block {addr} failed verification during the "
+                f"{self.name} rebuild")
+
+    def _resum_rebuilt(self, leaves: dict[int, SITNode],
+                       report: RecoveryReport) -> None:
+        """Re-sum a rebuilt leaf forest bottom-up, re-persisting every
+        node sealed under its regenerated counter, and land the top
+        sums in the root register.
+
+        The rebuilt snapshots are pure functions of the untouched data
+        region (or of already-persisted leaves), so a crash anywhere in
+        this sweep re-runs it with byte-identical pokes; the root slots
+        are written only after every node below them is durable, which
+        is what makes mid-recovery crashes restartable.
+        """
+        g = self.geometry
+        current = dict(leaves)
+        for level in range(g.num_levels):
+            fire(POINT_RECOVERY)
+            for index, node in current.items():
+                node.seal(self.engine, node.gensum())
+                report.hash()
+                self.device.poke(Region.TREE, g.node_offset(level, index),
+                                 node.snapshot())
+                report.write()
+            if level == g.top_level:
+                for index, node in current.items():
+                    self.root.set_counter(index, node.gensum())
+                return
+            parents: dict[int, SITNode] = {}
+            for index, node in current.items():
+                parent_index = index // g.arity
+                parent = parents.get(parent_index)
+                if parent is None:
+                    parent = SITNode(level + 1, parent_index,
+                                     GeneralCounterBlock())
+                    parents[parent_index] = parent
+                parent.block.set_counter(index % g.arity, node.gensum())
+            current = parents

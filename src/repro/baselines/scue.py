@@ -9,7 +9,9 @@ Modelled behaviour:
   on-chip ``Recovery_root`` register, the running sum of all leaf
   counters, bumped once per data write.  Parent counters are generated
   from child content (sum-consistent, like Steins), so the whole tree is
-  reconstructible from its leaves by summation.
+  reconstructible from its leaves by summation — the machinery shared
+  with Phoenix and SecPM via
+  :class:`~repro.baselines.generated.GeneratedCounterController`.
 * **Recovery** — no tracking exists, so *every* leaf that ever covered a
   written block is rebuilt from its covered data blocks' counter echoes
   (verified by the data HMACs), the tree is re-summed bottom-up, the
@@ -23,14 +25,12 @@ exclusion (``bench_fig17_recovery_time`` adds the SCUE row).
 """
 from __future__ import annotations
 
-from repro.baselines.base import SecureMemoryController
+from repro.baselines.generated import GeneratedCounterController
 from repro.baselines.report import RecoveryReport
 from repro.common.config import SystemConfig
 from repro.common.errors import RecoveryError, ReplayDetectedError, \
     TamperDetectedError
-from repro.counters import GeneralCounterBlock, SplitCounterBlock
 from repro.counters.base import IncrementResult
-from repro.crypto import cme
 from repro.faults.registry import POINT_RECOVERY, fire
 from repro.integrity.node import SITNode
 from repro.nvm.adr import NonVolatileRegister
@@ -44,15 +44,11 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.sim.clock import MemClock
 
 
-class SCUEController(SecureMemoryController):
+class SCUEController(GeneratedCounterController):
     """Recovery_root + whole-tree-rebuild scheme."""
 
     name = "scue"
     supports_recovery = True
-    #: generated (sum) counters need lazy-update consistency, like Steins
-    supports_eager_updates = False
-    #: flushes persist before propagating, like Steins
-    uses_inflight_fetch = False
 
     def __init__(self, cfg: SystemConfig, device: NVMDevice,
                  clock: "MemClock") -> None:
@@ -60,18 +56,8 @@ class SCUEController(SecureMemoryController):
         #: the sum of all leaf counters, updated on-chip per write
         self.recovery_root = NonVolatileRegister("recovery_root", 8,
                                                  initial=0)
-        #: updates whose parent fetch is in progress (see Steins'
-        #: equivalent register: the fetch walk may need to verify the
-        #: just-persisted child before its parent slot carries the value)
-        self._pending_applies: dict[tuple[int, int], int] = {}
 
     # ------------------------------------------------------------ hooks
-    def _leaf_overflow_policy(self):
-        from repro.counters import OverflowPolicy
-
-        return (OverflowPolicy.SKIP if self._leaf_split
-                else OverflowPolicy.PLAIN)
-
     def _on_leaf_incremented(self, offset: int, node: SITNode,
                              result: IncrementResult) -> None:
         # one register addition per write: SCUE's entire runtime cost
@@ -82,47 +68,6 @@ class SCUEController(SecureMemoryController):
         # the on-chip grand total of all leaf counters: SCUE's whole
         # trust base for replay detection at rebuild time
         return {"recovery_root": self.recovery_root.value}
-
-    # ---------------------------------------------------- flush protocol
-    def _flush_dirty_node(self, node: SITNode) -> None:
-        """Sum-generated counters (the property recovery relies on), but
-        without Steins' NV buffer: an uncached parent is fetched on the
-        write path, as in WB."""
-        generated = node.gensum()
-        self.clock.alu_op(cycles_each=2)
-        self.clock.hash_op()
-        node.seal(self.engine, generated)
-        self._persist_node(node)
-        g = self.geometry
-        slot = g.parent_slot(node.level, node.index)
-        parent = g.parent(node.level, node.index)
-        if parent is None:
-            self.root.set_counter(slot, generated)
-            return
-        key = (node.level, node.index)
-        outer = self._pending_applies.get(key)
-        self._pending_applies[key] = generated
-        try:
-            pnode = self._ensure_node(*parent)
-        finally:
-            if outer is None:
-                self._pending_applies.pop(key, None)
-            else:
-                self._pending_applies[key] = outer
-        if generated > pnode.counter(slot):
-            pnode.block.set_counter(slot, generated)
-            poff = g.node_offset(*parent)
-            if self.metacache.contains(poff):
-                self._mark_dirty(poff, pnode)
-
-    def _parent_counter(self, level: int, index: int) -> int:
-        in_progress = self._pending_applies.get((level, index))
-        if in_progress is not None:
-            return in_progress
-        return super()._parent_counter(level, index)
-
-    def _crash_volatile_state(self) -> None:
-        self._pending_applies.clear()
 
     # --------------------------------------------------------- recovery
     def recover(self) -> RecoveryReport:
@@ -144,12 +89,12 @@ class SCUEController(SecureMemoryController):
                 leaves.add(index)
 
         # 2. rebuild each leaf from its covered blocks' counter echoes
-        rebuilt: dict[tuple[int, int], SITNode] = {}
+        rebuilt: dict[int, SITNode] = {}
         total = 0
         for leaf_index in sorted(leaves):
             fire(POINT_RECOVERY)
             node = self._rebuild_leaf(leaf_index, report)
-            rebuilt[(0, leaf_index)] = node
+            rebuilt[leaf_index] = node
             total += node.gensum()
             report.nodes_recovered += 1
 
@@ -167,70 +112,7 @@ class SCUEController(SecureMemoryController):
         # 4. re-sum the intermediate levels bottom-up, re-persisting every
         #    rebuilt node sealed under its regenerated counter — writing
         #    the *whole tree* back is part of SCUE's recovery bill
-        #    (the rebuilt snapshots are pure functions of the untouched
-        #    data region, so a crash anywhere in this sweep re-runs it
-        #    with byte-identical pokes)
-        current = {index: node for (lvl, index), node in rebuilt.items()}
-        for level in range(g.num_levels):
-            fire(POINT_RECOVERY)
-            for index, node in current.items():
-                node.seal(self.engine, node.gensum())
-                report.hash()
-                self.device.poke(Region.TREE, g.node_offset(level, index),
-                                 node.snapshot())
-                report.write()
-            if level == g.top_level:
-                for index, node in current.items():
-                    self.root.set_counter(index, node.gensum())
-                break
-            parents: dict[int, SITNode] = {}
-            for index, node in current.items():
-                parent_index = index // g.arity
-                parent = parents.get(parent_index)
-                if parent is None:
-                    parent = SITNode(level + 1, parent_index,
-                                     GeneralCounterBlock())
-                    parents[parent_index] = parent
-                parent.block.set_counter(index % g.arity, node.gensum())
-            current = parents
+        self._resum_rebuilt(rebuilt, report)
 
         self.mark_recovered()
         return report
-
-    def _rebuild_leaf(self, leaf_index: int,
-                      report: RecoveryReport) -> SITNode:
-        g = self.geometry
-        if self._leaf_split:
-            major = 0
-            minors = [0] * g.leaf_coverage
-            for addr in g.leaf_data_blocks(leaf_index):
-                value = self.device.peek(Region.DATA, addr)
-                report.read()
-                if value is None:
-                    continue
-                self._verify_data_echo(addr, value, report)
-                echo = value[3]
-                minors[g.leaf_slot_for_block(addr)] = echo & 63
-                major = max(major, echo >> 6)
-            block: GeneralCounterBlock | SplitCounterBlock = \
-                SplitCounterBlock(major, minors, self._overflow_policy)
-        else:
-            block = GeneralCounterBlock()
-            for addr in g.leaf_data_blocks(leaf_index):
-                value = self.device.peek(Region.DATA, addr)
-                report.read()
-                if value is None:
-                    continue
-                self._verify_data_echo(addr, value, report)
-                block.set_counter(g.leaf_slot_for_block(addr), value[3])
-        return SITNode(0, leaf_index, block)
-
-    def _verify_data_echo(self, addr: int, value: tuple,
-                          report: RecoveryReport) -> None:
-        _, cipher, hmac, echo = value
-        plaintext = cme.decrypt_block(self.engine, addr, echo, cipher)
-        report.hash()
-        if hmac != cme.data_hmac(self.engine, addr, echo, plaintext):
-            raise TamperDetectedError(
-                f"data block {addr} failed verification during the SCUE "
-                "rebuild")

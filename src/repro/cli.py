@@ -25,7 +25,7 @@ import os
 import sys
 
 from repro.analysis.charts import render_grouped_bars, render_series
-from repro.analysis.figures import FigureHarness
+from repro.analysis.figures import FigureHarness, ZOO_VARIANTS
 from repro.analysis.recovery_model import scue_rebuild_estimate
 from repro.analysis.report import render_kv, render_table
 from repro.analysis.storage import all_storage_breakdowns
@@ -51,7 +51,14 @@ FIGURES = {
     "15": ("fig15_energy", GC_VARIANTS, "energy / WB-GC"),
     "16": ("fig16_energy_sc", SC_VARIANTS, "energy / WB-SC"),
     "17": ("fig17_recovery_time", None, "recovery time (s)"),
+    "zoo": ("fig_zoo_execution_time", ZOO_VARIANTS,
+            "execution time / WB-GC, every registered variant"),
 }
+
+
+def _figure_order(number: str) -> tuple[int, int, str]:
+    """Paper figures first in numeric order, then named extras."""
+    return (0, int(number), "") if number.isdigit() else (1, 0, number)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,7 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("--footprint", type=int, default=1 << 15)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
-    fig.add_argument("number", choices=sorted(FIGURES, key=int))
+    fig.add_argument("number", choices=sorted(FIGURES, key=_figure_order))
     fig.add_argument("--accesses", type=int, default=30_000)
     fig.add_argument("--chart", action="store_true",
                      help="render bar charts instead of a number table")
@@ -90,7 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="parallel figure-matrix sweep with a result cache")
     sweep.add_argument("--figure", action="append",
-                       choices=[n for n in sorted(FIGURES, key=int)
+                       choices=[n for n in sorted(FIGURES,
+                                                  key=_figure_order)
                                 if n != "17"],
                        default=None,
                        help="figure to regenerate (repeatable; default: "
@@ -117,12 +125,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "serve` socket (ignores --jobs/--cache-dir: "
                             "the service owns both)")
 
-    from repro.sim.system import SCHEMES
+    from repro.schemes import scheme_names
 
     faults = sub.add_parser(
         "faults", help="deterministic fault-injection campaign")
     faults.add_argument("--scheme", action="append",
-                        choices=sorted(SCHEMES), default=None,
+                        choices=sorted(scheme_names()), default=None,
                         help="scheme to sweep (repeatable; default steins)")
     faults.add_argument("--workload", action="append",
                         choices=sorted(ALL_PROFILES), default=None,
@@ -151,9 +159,11 @@ def build_parser() -> argparse.ArgumentParser:
         "oracle",
         help="differential conformance suite against the reference "
              "model (see docs/testing.md)")
-    oracle.add_argument("--scheme", action="append",
-                        choices=sorted(SCHEMES), default=None,
-                        help="scheme to check (repeatable)")
+    oracle.add_argument("--scheme", action="append", default=None,
+                        metavar="NAME",
+                        help="scheme to check (repeatable; validated "
+                             "against the scheme registry, so plugin "
+                             "schemes work without CLI changes)")
     oracle.add_argument("--all-schemes", action="store_true",
                         help="check every scheme (same as omitting "
                              "--scheme; spelled out for scripts)")
@@ -181,9 +191,10 @@ def build_parser() -> argparse.ArgumentParser:
         "explore",
         help="systematic crash-space exploration with state-digest "
              "pruning (see docs/crash_exploration.md)")
-    explore.add_argument("--scheme", action="append",
-                         choices=sorted(SCHEMES), default=None,
-                         help="scheme to explore (repeatable; default: "
+    explore.add_argument("--scheme", action="append", default=None,
+                         metavar="NAME",
+                         help="scheme to explore (repeatable; validated "
+                              "against the scheme registry; default: "
                               "every recovery-capable scheme)")
     explore.add_argument("--workload", action="append",
                          choices=sorted(ALL_PROFILES), default=None,
@@ -377,8 +388,8 @@ def _sweep_progress(done: int, total: int, outcome) -> None:
 
 
 def cmd_sweep(args) -> int:
-    figures = args.figure or [n for n in sorted(FIGURES, key=int)
-                              if n != "17"]
+    figures = args.figure or [n for n in sorted(FIGURES, key=_figure_order)
+                              if n not in ("17", "zoo")]
     jobs = args.jobs or (os.cpu_count() or 1)
     cache = None if args.no_cache or args.service \
         else ResultCache(args.cache_dir)
@@ -437,16 +448,21 @@ def cmd_faults(args) -> int:
 def cmd_oracle(args) -> int:
     # the oracle imports the simulator stack; keep it off the path of
     # the other subcommands
+    from repro.common.errors import ConfigError
     from repro.oracle.sweep import run_oracle_suite
 
     schemes = args.scheme if (args.scheme and not args.all_schemes) \
         else None
-    tally = run_oracle_suite(
-        schemes=schemes, workloads=args.workload,
-        accesses=args.accesses, footprint=args.footprint,
-        seed=args.seed, jobs=args.jobs or (os.cpu_count() or 1),
-        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
-        service=args.service)
+    try:
+        tally = run_oracle_suite(
+            schemes=schemes, workloads=args.workload,
+            accesses=args.accesses, footprint=args.footprint,
+            seed=args.seed, jobs=args.jobs or (os.cpu_count() or 1),
+            cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+            service=args.service)
+    except ConfigError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     if args.json:
         import json
 
@@ -472,16 +488,22 @@ def cmd_explore(args) -> int:
         from repro import obs
 
         registry = obs.MetricRegistry()
-    summary = run_explore(
-        schemes=args.scheme, workloads=args.workload,
-        accesses=accesses, footprint=footprint, seed=args.seed,
-        residuals=tuple(args.residual) if args.residual else (0, 8),
-        class_budget=budget, recovery_cap=recovery_cap,
-        with_mutants=not args.no_mutants,
-        jobs=args.jobs or (os.cpu_count() or 1),
-        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
-        progress=_sweep_progress if args.progress else None,
-        metrics=registry, service=args.service)
+    from repro.common.errors import ConfigError
+
+    try:
+        summary = run_explore(
+            schemes=args.scheme, workloads=args.workload,
+            accesses=accesses, footprint=footprint, seed=args.seed,
+            residuals=tuple(args.residual) if args.residual else (0, 8),
+            class_budget=budget, recovery_cap=recovery_cap,
+            with_mutants=not args.no_mutants,
+            jobs=args.jobs or (os.cpu_count() or 1),
+            cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+            progress=_sweep_progress if args.progress else None,
+            metrics=registry, service=args.service)
+    except ConfigError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
     import json
 
     # the report body is cache- and parallelism-independent: serial and

@@ -54,7 +54,7 @@ from repro.explore.planner import (
 )
 from repro.explore.runner import ExploreCaseResult
 from repro.oracle.mutants import MUTANTS
-from repro.sim.system import SCHEMES
+from repro.schemes import resolve_schemes
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.obs.metrics import MetricRegistry
@@ -218,12 +218,6 @@ class ExploreSummary:
         return lines
 
 
-def _default_schemes() -> list[str]:
-    """The recovery-capable schemes (crashing a scheme that cannot
-    recover explores nothing)."""
-    return sorted(s for s in SCHEMES if SCHEMES[s].supports_recovery)
-
-
 def run_explore(schemes: list[str] | None = None,
                 workloads: list[str] | None = None,
                 accesses: int = 120, footprint: int = 512,
@@ -244,8 +238,14 @@ def run_explore(schemes: list[str] | None = None,
     (the ``--small`` mode): every equivalence class explored, every
     recovery step crashed.  Finite values switch to the coverage-guided
     frontier for larger traces.
+
+    ``schemes`` is validated against the scheme registry (unknown names
+    raise :class:`~repro.common.errors.ConfigError`); the default is
+    every recovery-capable scheme — crashing a scheme that cannot
+    recover explores nothing, though naming one explicitly is allowed
+    (its crash cells report ``unsupported``).
     """
-    schemes = list(schemes) if schemes else _default_schemes()
+    schemes = resolve_schemes(schemes, recoverable_only=schemes is None)
     workloads = list(workloads) if workloads else ["pers_hash"]
     if cfg is None:
         # the smallest metadata cache: short traces must still evict —

@@ -52,6 +52,7 @@ from repro.common.errors import (
 )
 from repro.common.rng import make_rng
 from repro.faults.registry import FaultPlan, armed
+from repro.schemes import resolve_schemes
 from repro.sim.crash import capture_golden, check_recovered
 from repro.sim.system import SecureNVMSystem
 from repro.workloads import get_profile
@@ -301,6 +302,7 @@ def run_campaign(schemes: list[str], workloads: list[str],
     """
     from repro.exec import CellSpec, config_to_dict, run_sweep
 
+    schemes = resolve_schemes(schemes)
     if cfg is None:
         cfg = small_config(metadata_cache_bytes=2048)
     spans = probe_spans(schemes, workloads, seed, accesses, footprint,

@@ -6,15 +6,17 @@ class into a *live* controller instance and the self-test asserts the
 harness flags it (any outcome other than ``match``).  The classes map
 one-to-one onto the oracle's checks:
 
-===================  =============================================
-mutant               oracle check it must trip
-===================  =============================================
-counter-reuse        counter-echo strict monotonicity (pad reuse)
-stale-read           lockstep read diff against the model
-drop-node-persist    refetch verification / post-crash durability
-skip-parent-update   lazy-update propagation (Steins Fig. 7 path)
-root-rollback        root freshness across recovery
-===================  =============================================
+=====================  =============================================
+mutant                 oracle check it must trip
+=====================  =============================================
+counter-reuse          counter-echo strict monotonicity (pad reuse)
+stale-read             lockstep read diff against the model
+drop-node-persist      refetch verification / post-crash durability
+skip-parent-update     lazy-update propagation (Steins Fig. 7 path)
+skip-writethrough      SecPM leaf-sum audit against persist_root
+skip-register-persist  Phoenix subtree rebuild vs its register
+root-rollback          root freshness across recovery
+=====================  =============================================
 
 Mutants patch bound methods on the one controller instance inside a
 ``with`` block — the class, and therefore every other test, is never
@@ -55,6 +57,10 @@ class Mutant:
     #: run the crash/recover leg after the trace (root-rollback corrupts
     #: state *between* crash and recovery)
     needs_crash: bool = False
+    #: graceful flush before the crash; False crashes with the caches
+    #: dirty (write-through bugs heal under a flush, so their self-test
+    #: must skip it)
+    flush_before_crash: bool = True
     #: mutate state after the crash, before recover() (optional)
     post_crash: Callable[[DifferentialRun], None] | None = None
 
@@ -164,6 +170,70 @@ def _skip_parent_update(dr: DifferentialRun) -> Iterator[None]:
 
 
 @contextmanager
+def _skip_writethrough(dr: DifferentialRun) -> Iterator[None]:
+    """Drop every counter write-through persist while still bumping the
+    persist register — the leaf-durability bug SecPM's recovery audit
+    (leaf sum vs ``persist_root``) exists to catch."""
+    c = dr.controller
+    if not hasattr(c, "persist_root"):
+        raise ConfigError(
+            f"scheme {c.name!r} has no counter write-through to skip")
+    # the mutant deliberately shadows the private hooks on this one
+    # instance to plant the bug
+    # simlint: disable-next=SL002 -- mutant plants the bug via this hook
+    orig_hook = c._on_leaf_incremented
+    # simlint: disable-next=SL002 -- mutant plants the bug via this hook
+    orig_persist = c._persist_node
+    inside = {"hook": False}
+
+    def bad_hook(offset, node, result) -> None:
+        inside["hook"] = True
+        try:
+            orig_hook(offset, node, result)
+        finally:
+            inside["hook"] = False
+
+    def gated_persist(node) -> None:
+        if inside["hook"]:
+            return  # the write-through never reaches NVM
+        orig_persist(node)
+
+    restore_hook = _patch_method(c, "_on_leaf_incremented", bad_hook)
+    restore_persist = _patch_method(c, "_persist_node", gated_persist)
+    try:
+        yield
+    finally:
+        restore_persist()
+        restore_hook()
+
+
+@contextmanager
+def _skip_register_persist(dr: DifferentialRun) -> Iterator[None]:
+    """Drop the first per-subtree register bump: the tree advances past
+    the register, so Phoenix's stale-subtree rebuild must find more
+    counter mass than the register accounts for."""
+    c = dr.controller
+    if not hasattr(c, "subtree_counts"):
+        raise ConfigError(
+            f"scheme {c.name!r} has no per-subtree register to skip")
+    # simlint: disable-next=SL002 -- mutant plants the bug via this hook
+    orig = c._on_leaf_incremented
+    skipped = {"done": False}
+
+    def bad_hook(offset, node, result) -> None:
+        if not skipped["done"]:
+            skipped["done"] = True
+            return
+        orig(offset, node, result)
+
+    restore = _patch_method(c, "_on_leaf_incremented", bad_hook)
+    try:
+        yield
+    finally:
+        restore()
+
+
+@contextmanager
 def _no_patch(dr: DifferentialRun) -> Iterator[None]:
     yield
 
@@ -174,6 +244,17 @@ def _rollback_root(dr: DifferentialRun) -> None:
     c = dr.controller
     if hasattr(c, "recovery_root"):
         c.recovery_root.value -= 1
+        return
+    if hasattr(c, "persist_root"):
+        c.persist_root.value -= 1
+        return
+    if hasattr(c, "subtree_counts"):
+        counts = c.subtree_counts.value
+        slot = max(range(len(counts)), key=lambda s: counts[s])
+        if counts[slot] == 0:
+            raise ConfigError("trace never advanced a subtree register; "
+                              "nothing to roll back")
+        counts[slot] -= 1
         return
     snap = c.root.snapshot()
     slot = max(range(len(snap)), key=lambda s: snap[s])
@@ -187,13 +268,15 @@ MUTANTS: dict[str, Mutant] = {m.name: m for m in (
     Mutant(
         name="counter-reuse",
         description="rewrites re-encrypt under the previous counter",
-        schemes=("wb", "asit", "star", "steins", "scue"),
+        schemes=("wb", "asit", "star", "steins", "scue", "phoenix",
+                 "secpm"),
         catches="counter-echo strict monotonicity",
         patch=_counter_reuse),
     Mutant(
         name="stale-read",
         description="re-reads served from a never-invalidated cache",
-        schemes=("wb", "asit", "star", "steins", "scue"),
+        schemes=("wb", "asit", "star", "steins", "scue", "phoenix",
+                 "secpm"),
         catches="lockstep read diff",
         patch=_stale_read),
     Mutant(
@@ -209,9 +292,25 @@ MUTANTS: dict[str, Mutant] = {m.name: m for m in (
         catches="lazy-update propagation",
         patch=_skip_parent_update),
     Mutant(
+        name="skip-writethrough",
+        description="counter write-throughs never persisted (register "
+                    "still bumped)",
+        schemes=("secpm",),
+        catches="leaf-sum audit against persist_root",
+        patch=_skip_writethrough,
+        needs_crash=True,
+        flush_before_crash=False),
+    Mutant(
+        name="skip-register-persist",
+        description="first per-subtree register bump dropped",
+        schemes=("phoenix",),
+        catches="subtree rebuild vs register accounting",
+        patch=_skip_register_persist,
+        needs_crash=True),
+    Mutant(
         name="root-rollback",
         description="root register loses its last increment at crash",
-        schemes=("scue", "steins", "asit", "star"),
+        schemes=("scue", "steins", "asit", "star", "phoenix", "secpm"),
         catches="root freshness across recovery",
         patch=_no_patch,
         needs_crash=True,
@@ -239,7 +338,8 @@ def run_mutant_case(name: str, scheme: str, workload: str,
         with mutant.patch(dr):
             dr.run_trace(trace)
             if mutant.needs_crash and dr.controller.supports_recovery:
-                dr.controller.flush_all()
+                if mutant.flush_before_crash:
+                    dr.controller.flush_all()
                 pre = dr.crash()
                 if mutant.post_crash is not None:
                     mutant.post_crash(dr)

@@ -40,7 +40,7 @@ from repro.oracle.harness import (
     run_tamper_case,
 )
 from repro.oracle.mutants import MUTANTS, run_mutant_case
-from repro.sim.system import SCHEMES
+from repro.schemes import get_scheme, resolve_schemes
 from repro.workloads.trace import TraceArrays
 
 #: tamper kinds that need a crash/recover cycle to force tree refetches
@@ -114,7 +114,7 @@ def crash_plans_from_log(fire_log: list[str],
 def tamper_plans_for(scheme: str) -> list[dict[str, Any]]:
     """Tamper kinds applicable to a scheme (tree tampers need the
     crash/recover cycle, so they are skipped on non-recovering WB)."""
-    recovers = SCHEMES[scheme].supports_recovery
+    recovers = get_scheme(scheme).supports_recovery
     return [{"mode": "tamper", "attack": kind}
             for kind in TAMPER_KINDS
             if recovers or kind not in _TREE_TAMPERS]
@@ -250,8 +250,13 @@ def run_oracle_suite(schemes: list[str] | None = None,
                      cache: ResultCache | None = None,
                      progress: ProgressFn | None = None,
                      service: str | None = None) -> SuiteSummary:
-    """Plan and execute the differential suite; returns the tally."""
-    schemes = list(schemes) if schemes else sorted(SCHEMES)
+    """Plan and execute the differential suite; returns the tally.
+
+    ``schemes`` is validated against the scheme registry: an unknown
+    name raises :class:`~repro.common.errors.ConfigError` listing the
+    registered schemes; ``None`` checks every registered scheme.
+    """
+    schemes = resolve_schemes(schemes)
     workloads = list(workloads) if workloads else ["pers_hash"]
     if cfg is None:
         cfg = small_config(metadata_cache_bytes=2048)

@@ -1,0 +1,142 @@
+"""Phoenix — a persistently secure counter tree (arXiv:1911.01922).
+
+Phoenix's pitch: keep near-WB runtime cost, but make recovery scale
+with what was *in flight* at the crash instead of the whole data
+footprint.  The durable trust base is a vector of per-subtree sums —
+one on-chip NV register slot per top-level node — so after a crash
+each subtree can be triaged independently.
+
+Modelled behaviour:
+
+* **Runtime** — parent counters are generated sums (the shared
+  :class:`~repro.baselines.generated.GeneratedCounterController` flush
+  protocol).  Each data write adds its leaf-counter delta to the
+  register slot of the subtree the leaf belongs to: one register
+  addition per write, the same bill as SCUE's single ``Recovery_root``.
+* **Recovery** — per-subtree triage.  A subtree whose SIT-root slot
+  equals its register is *provably clean*: with strictly positive
+  per-write deltas, every unflushed update leaves the root slot lagging
+  the register, so equality means every increment had propagated to the
+  top node before the crash.  Clean subtrees are skipped untouched;
+  only mismatching ("stale") subtrees are rebuilt from their covered
+  data blocks' counter echoes, checked against the register (replay
+  detection), re-summed and re-persisted bottom-up.
+
+Deviation from the paper: Phoenix restores stale counters lazily on
+first touch after reboot.  The differential oracle's recovery contract
+(dirty nodes restored-or-dominated *at* ``recover()`` time, see
+``repro.oracle.harness.DifferentialRun.check_recovery``) requires the
+stale state to be durable again before operation resumes, so laziness
+is modelled at subtree granularity — clean subtrees cost nothing —
+rather than per-node.
+"""
+from __future__ import annotations
+
+from repro.baselines.generated import GeneratedCounterController
+from repro.baselines.report import RecoveryReport
+from repro.common.config import SystemConfig
+from repro.common.errors import RecoveryError, ReplayDetectedError, \
+    TamperDetectedError
+from repro.counters.base import IncrementResult
+from repro.faults.registry import POINT_RECOVERY, fire
+from repro.integrity.node import SITNode
+from repro.nvm.adr import NonVolatileRegister
+from repro.nvm.device import NVMDevice
+from repro.nvm.layout import Region
+
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sim.clock import MemClock
+
+
+class PhoenixController(GeneratedCounterController):
+    """Per-subtree sum registers + stale-subtree-only rebuild."""
+
+    name = "phoenix"
+    supports_recovery = True
+
+    def __init__(self, cfg: SystemConfig, device: NVMDevice,
+                 clock: "MemClock") -> None:
+        super().__init__(cfg, device, clock)
+        g = self.geometry
+        top_size = g.level_sizes[g.top_level]
+        #: leaves covered by one top-level node (= one register slot)
+        self._leaves_per_top = g.arity ** g.top_level
+        #: per-subtree sum of leaf counters, updated on-chip per write
+        self.subtree_counts = NonVolatileRegister(
+            "phoenix_subtree_counts", max(8, top_size * 8),
+            initial=[0] * top_size)
+
+    # ------------------------------------------------------------ hooks
+    def _on_leaf_incremented(self, offset: int, node: SITNode,
+                             result: IncrementResult) -> None:
+        # one register addition per write, into the owning subtree's slot
+        top = node.index // self._leaves_per_top
+        self.subtree_counts.value[top] += result.gensum_delta
+        self.clock.sram_op()
+
+    def _oracle_extra_state(self) -> dict[str, object]:
+        # the per-subtree grand totals: Phoenix's whole trust base for
+        # both the staleness triage and replay detection at rebuild time
+        return {"subtree_counts": tuple(self.subtree_counts.value)}
+
+    # --------------------------------------------------------- recovery
+    def recover(self) -> RecoveryReport:
+        """Rebuild only the subtrees that were in flight at the crash."""
+        if not self._crashed:
+            raise RecoveryError("recover() called without a crash")
+        fire(POINT_RECOVERY)
+        report = RecoveryReport(self.name)
+        g = self.geometry
+        counts = self.subtree_counts.value
+
+        # 1. triage: root slot == register slot proves the subtree had
+        #    no unpropagated update at the crash — skip it untouched.
+        #    (The root slot only ever lags the register, and recovery
+        #    closes the gap last, so a mid-recovery crash re-runs with
+        #    the same triage for every unfinished subtree.)
+        stale = [t for t in range(len(counts))
+                 if self.root.counter(t) != counts[t]]
+
+        # 2. collect the populated leaves of each stale subtree
+        per_subtree: dict[int, set[int]] = {t: set() for t in stale}
+        stale_set = set(stale)
+        for addr, _ in self.device.populated(Region.DATA):
+            leaf = g.leaf_for_block(addr)
+            top = leaf // self._leaves_per_top
+            if top in stale_set:
+                per_subtree[top].add(leaf)
+        for offset, _ in self.device.populated(Region.TREE):
+            level, index = g.offset_to_node(offset)
+            if level == 0:
+                top = index // self._leaves_per_top
+                if top in stale_set:
+                    per_subtree[top].add(index)
+
+        # 3. rebuild each stale subtree from its data blocks' counter
+        #    echoes, check its register (replay detection), then re-sum
+        #    and re-persist the subtree bottom-up
+        for top in stale:
+            rebuilt: dict[int, SITNode] = {}
+            total = 0
+            for leaf_index in sorted(per_subtree[top]):
+                fire(POINT_RECOVERY)
+                node = self._rebuild_leaf(leaf_index, report)
+                rebuilt[leaf_index] = node
+                total += node.gensum()
+                report.nodes_recovered += 1
+            if total != counts[top]:
+                if total < counts[top]:
+                    raise ReplayDetectedError(
+                        f"subtree {top} register mismatch: recomputed "
+                        f"{total} < stored {counts[top]} — replayed data "
+                        "detected")
+                raise TamperDetectedError(
+                    f"subtree {top} register mismatch: recomputed "
+                    f"{total} > stored {counts[top]}")
+            self._resum_rebuilt(rebuilt, report)
+
+        self.mark_recovered()
+        return report

@@ -12,21 +12,16 @@ from dataclasses import dataclass
 from repro.common.config import CounterMode, SystemConfig, default_config
 from repro.common.errors import ConfigError
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.schemes import variant_table
 from repro.sim.stats import RunResult
 from repro.sim.system import SecureNVMSystem
 from repro.workloads import get_profile
 from repro.workloads.trace import TraceArrays
 
-#: paper variant name -> (controller scheme, counter mode)
-VARIANTS: dict[str, tuple[str, CounterMode]] = {
-    "wb-gc": ("wb", CounterMode.GENERAL),
-    "wb-sc": ("wb", CounterMode.SPLIT),
-    "asit": ("asit", CounterMode.GENERAL),
-    "star": ("star", CounterMode.GENERAL),
-    "scue": ("scue", CounterMode.GENERAL),
-    "steins-gc": ("steins", CounterMode.GENERAL),
-    "steins-sc": ("steins", CounterMode.SPLIT),
-}
+#: paper variant name -> (controller scheme, counter mode), a registry
+#: view: every scheme declares its variants at registration
+#: (:mod:`repro.schemes.builtin`), so plugins appear here automatically
+VARIANTS: dict[str, tuple[str, CounterMode]] = variant_table()
 
 #: variants shown in the -GC figures (9, 10, 11, 13, 15)
 GC_VARIANTS: tuple[str, ...] = ("wb-gc", "asit", "star", "steins-gc")

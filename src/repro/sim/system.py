@@ -17,31 +17,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.asit import ASITController
 from repro.baselines.base import SecureMemoryController
-from repro.baselines.scue import SCUEController
-from repro.baselines.star import STARController
-from repro.baselines.wb import WBController
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
 from repro.common.rng import mix64
-from repro.core.controller import SteinsController
 from repro.integrity.geometry import geometry_for
 from repro.mem.hierarchy import CacheHierarchy, MemOp
 from repro.nvm.device import NVMDevice
 from repro.nvm.energy import EnergyMeter
 from repro.nvm.layout import MemoryLayout, build_layout
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.schemes import controller_types
 from repro.sim.clock import MemClock
 from repro.sim.stats import RunResult
 
-SCHEMES: dict[str, type[SecureMemoryController]] = {
-    "wb": WBController,
-    "asit": ASITController,
-    "star": STARController,
-    "steins": SteinsController,
-    "scue": SCUEController,
-}
+#: {scheme: controller class}, a registry view in registration order;
+#: plugins land here (and everywhere downstream) via
+#: :func:`repro.schemes.register_scheme`, never by editing this module
+SCHEMES: dict[str, type[SecureMemoryController]] = controller_types()
 
 
 def make_layout(cfg: SystemConfig) -> MemoryLayout:

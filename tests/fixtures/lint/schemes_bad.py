@@ -1,0 +1,18 @@
+"""Fixture: scheme-registry violations (SL1001)."""
+
+
+class OrphanController(SecureMemoryController):   # SL1001: never registered
+    name = "orphan"
+
+    def _oracle_extra_state(self):
+        return {}
+
+
+class ForkController(GeneratedCounterController):  # SL1001: never registered
+    name = "fork"
+
+    def _oracle_extra_state(self):
+        return {}
+
+
+register_scheme("somebody-else", ForkController.__bases__[0], caps)

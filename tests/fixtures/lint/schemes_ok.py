@@ -1,0 +1,35 @@
+"""Fixture: scheme-registry hygiene respected — no diagnostics.
+
+Named controllers are registered (literal name matches a literal
+``register_scheme`` first argument, possibly in another analyzed
+file); shared bases declare no name of their own; test doubles and
+non-controllers are out of scope.
+"""
+
+
+class WiredController(SecureMemoryController):
+    name = "wired"
+
+    def _oracle_extra_state(self):
+        return {}
+
+
+class SharedBaseController(SecureMemoryController):
+    """No ``name`` literal of its own: a base, not a scheme."""
+
+    def _oracle_extra_state(self):
+        return {}
+
+
+class TestStubController(SecureMemoryController):
+    name = "stub"  # Test* classes are exempt
+
+    def _oracle_extra_state(self):
+        return {}
+
+
+class WriteScheduler:
+    name = "not-a-controller-subclass"
+
+
+register_scheme("wired", WiredController, caps)

@@ -14,6 +14,7 @@ from repro.analysis.storage import (
     storage_breakdown,
 )
 from repro.common.config import CounterMode
+from repro.sim.runner import VARIANTS
 from repro.common.units import GB, KB, MB
 
 
@@ -57,9 +58,8 @@ class TestStorage:
 
     def test_all_breakdowns(self):
         rows = all_storage_breakdowns()
-        assert len(rows) == 7
-        assert {b.scheme for b in rows} == {"wb", "asit", "star",
-                                            "steins", "scue"}
+        assert len(rows) == len(VARIANTS)
+        assert {b.scheme for b in rows} == {s for s, _ in VARIANTS.values()}
         d = rows[0].as_dict()
         assert "tree_bytes" in d
 

@@ -17,11 +17,14 @@ from tests.conftest import drive, scaled
 from repro.common.config import small_config
 from repro.common.errors import CrashInjected
 from repro.faults.registry import FaultPlan, armed
+from repro.schemes import recoverable_scheme_names
 from repro.sim.crash import capture_golden, check_recovered
 from repro.sim.system import SecureNVMSystem
 from repro.workloads import get_profile
 
-RECOVERABLE = ("steins", "asit", "star", "scue")
+#: registry iteration: plugin schemes join the double-crash properties
+#: the moment they register as recovery-capable
+RECOVERABLE = recoverable_scheme_names()
 
 
 def _crashed_system(scheme: str, crash_after: int):

@@ -202,6 +202,33 @@ class TestOracleRule:
         assert lint("oracle_ok.py").diagnostics == []
 
 
+class TestSchemeRegistryRule:
+    def test_flags_named_controllers_never_registered(self):
+        result = lint("schemes_bad.py")
+        assert hits(result) == [
+            ("SL1001", 4),   # plain-name base, name never registered
+            ("SL1001", 11),  # shared-base subclass, name never registered
+        ]
+        assert result.exit_code() == 1
+
+    def test_registered_bases_and_test_doubles_are_silent(self):
+        assert lint("schemes_ok.py").diagnostics == []
+
+    def test_registration_in_another_file_counts(self, tmp_path):
+        """The collect pass is project-wide: the class and its
+        register_scheme call may live in different files."""
+        scheme = tmp_path / "ghost.py"
+        scheme.write_text(
+            "class GhostController(SecureMemoryController):\n"
+            '    name = "ghost"\n'
+            "    def _oracle_extra_state(self):\n"
+            "        return {}\n")
+        assert run_lint([str(scheme)]).exit_code() == 1
+        wiring = tmp_path / "builtin.py"
+        wiring.write_text('register_scheme("ghost", GhostController, c)\n')
+        assert run_lint([str(scheme), str(wiring)]).diagnostics == []
+
+
 class TestExploreRule:
     def test_flags_every_crash_loop_shape(self):
         result = lint("explore_bad.py")

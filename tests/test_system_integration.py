@@ -10,9 +10,11 @@ import pytest
 from repro.common.config import small_config
 from repro.sim.crash import crash_and_recover, run_with_crash
 from repro.sim.runner import VARIANTS, make_system, run_trace
+from repro.schemes import scheme_names, variant_table
 from repro.sim.system import SCHEMES, SecureNVMSystem, make_layout
 
-RECOVERABLE = ("asit", "star", "scue", "steins-gc", "steins-sc")
+RECOVERABLE = ("asit", "star", "scue", "steins-gc", "steins-sc",
+               "phoenix", "secpm")
 ALL_VARIANTS = tuple(VARIANTS)
 
 
@@ -101,9 +103,13 @@ def test_unknown_scheme_rejected():
 
 
 def test_schemes_registry():
-    assert set(SCHEMES) == {"wb", "asit", "star", "steins", "scue"}
+    assert set(SCHEMES) == {"wb", "asit", "star", "steins", "scue",
+                            "phoenix", "secpm"}
     assert set(VARIANTS) == {"wb-gc", "wb-sc", "asit", "star", "scue",
-                             "steins-gc", "steins-sc"}
+                             "steins-gc", "steins-sc", "phoenix", "secpm"}
+    # the sim-facing tables are registry views, not separate sources
+    assert set(SCHEMES) == set(scheme_names())
+    assert VARIANTS == variant_table()
 
 
 def test_llc_absorbs_repeated_hits(make_small_system):
